@@ -1,0 +1,165 @@
+// Shared deployment and reporting helpers for the per-figure bench binaries.
+//
+// Every bench prints a header naming the paper figure it regenerates, the
+// cost-model parameters, and tab-separated data rows suitable for plotting.
+// Request counts are scaled down from the paper's 10M-request runs so the
+// full suite finishes in minutes; pass --scale=N (default 1) to multiply all
+// workload sizes.
+#ifndef DITTO_BENCH_BENCH_COMMON_H_
+#define DITTO_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/cliquemap.h"
+#include "baselines/shard_lru.h"
+#include "common/flags.h"
+#include "core/ditto_client.h"
+#include "dm/pool.h"
+#include "sim/adapters.h"
+#include "sim/runner.h"
+#include "workloads/synthetic_traces.h"
+#include "workloads/trace.h"
+#include "workloads/ycsb.h"
+
+namespace ditto::bench {
+
+inline void PrintHeader(const char* figure, const char* what) {
+  std::printf("# %s\n# %s\n", figure, what);
+  std::printf("# cost model: READ/WRITE rtt 2.0us, ATOMIC 2.5us, NIC 75 Mmsg/s, "
+              "RPC 1.2us/op/core\n");
+}
+
+inline dm::PoolConfig MakePoolConfig(uint64_t capacity_objects, int controller_cores = 1,
+                                     bool costed = true) {
+  dm::PoolConfig config;
+  // Size the table at ~4 slots per cached object (objects + history slack)
+  // and the heap generously; capacity is enforced in objects.
+  config.num_buckets = 1;
+  while (config.num_buckets * 8 < capacity_objects * 4) {
+    config.num_buckets *= 2;
+  }
+  config.memory_bytes =
+      std::max<size_t>(size_t{32} << 20, capacity_objects * 1024 + (size_t{8} << 20));
+  config.capacity_objects = capacity_objects;
+  config.controller_cores = controller_cores;
+  if (!costed) {
+    config.cost = rdma::CostModel::Disabled();
+  }
+  return config;
+}
+
+// A Ditto deployment: pool + server + n clients, driven through the runner.
+struct DittoDeployment {
+  std::unique_ptr<dm::MemoryPool> pool;
+  std::unique_ptr<core::DittoServer> server;
+  std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+  std::vector<std::unique_ptr<sim::DittoCacheClient>> clients;
+  std::vector<sim::CacheClient*> raw;
+
+  void Resize(int num_clients, const core::DittoConfig& config) {
+    while (static_cast<int>(clients.size()) > num_clients) {
+      clients.pop_back();
+      ctxs.pop_back();
+      raw.pop_back();
+    }
+    // A client added mid-experiment joins at the current virtual time, not
+    // at t=0 (otherwise it would observe all previously accumulated NIC work
+    // as queueing backlog).
+    uint64_t now_ns = 0;
+    for (const auto& ctx : ctxs) {
+      now_ns = std::max(now_ns, ctx->clock().busy_ns());
+    }
+    while (static_cast<int>(clients.size()) < num_clients) {
+      const auto id = static_cast<uint32_t>(ctxs.size());
+      ctxs.push_back(std::make_unique<rdma::ClientContext>(id));
+      ctxs.back()->clock().AdvanceNs(now_ns);
+      clients.push_back(
+          std::make_unique<sim::DittoCacheClient>(pool.get(), ctxs.back().get(), config));
+      raw.push_back(clients.back().get());
+    }
+  }
+};
+
+inline DittoDeployment MakeDitto(const dm::PoolConfig& pool_config,
+                                 const core::DittoConfig& config, int num_clients) {
+  DittoDeployment d;
+  d.pool = std::make_unique<dm::MemoryPool>(pool_config);
+  d.server = std::make_unique<core::DittoServer>(d.pool.get(), config);
+  d.Resize(num_clients, config);
+  return d;
+}
+
+// A CliqueMap deployment.
+struct CmDeployment {
+  std::unique_ptr<dm::MemoryPool> pool;
+  std::unique_ptr<baselines::CliqueMapServer> server;
+  std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+  std::vector<std::unique_ptr<baselines::CliqueMapClient>> clients;
+  std::vector<sim::CacheClient*> raw;
+};
+
+inline CmDeployment MakeCliqueMap(const dm::PoolConfig& pool_config,
+                                  const baselines::CliqueMapConfig& config, int num_clients) {
+  CmDeployment d;
+  d.pool = std::make_unique<dm::MemoryPool>(pool_config);
+  d.server = std::make_unique<baselines::CliqueMapServer>(d.pool.get(), config);
+  for (int i = 0; i < num_clients; ++i) {
+    d.ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+    d.clients.push_back(std::make_unique<baselines::CliqueMapClient>(d.pool.get(),
+                                                                     d.server.get(),
+                                                                     d.ctxs.back().get()));
+    d.raw.push_back(d.clients.back().get());
+  }
+  return d;
+}
+
+// A Shard-LRU (or KVC/KVC-S/KVS) deployment.
+struct ShardDeployment {
+  std::unique_ptr<dm::MemoryPool> pool;
+  std::unique_ptr<baselines::ShardLruDirectory> dir;
+  std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+  std::vector<std::unique_ptr<baselines::ShardLruClient>> clients;
+  std::vector<sim::CacheClient*> raw;
+};
+
+inline ShardDeployment MakeShardLru(const dm::PoolConfig& pool_config,
+                                    const baselines::ShardLruConfig& config, int num_clients) {
+  ShardDeployment d;
+  d.pool = std::make_unique<dm::MemoryPool>(pool_config);
+  d.dir = std::make_unique<baselines::ShardLruDirectory>(d.pool.get(), config);
+  for (int i = 0; i < num_clients; ++i) {
+    d.ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+    d.clients.push_back(std::make_unique<baselines::ShardLruClient>(d.pool.get(), d.dir.get(),
+                                                                    d.ctxs.back().get()));
+    d.raw.push_back(d.clients.back().get());
+  }
+  return d;
+}
+
+// Preloads all distinct keys of a trace so a subsequent read phase has no
+// cold misses (the paper's "no cache miss" throughput experiments).
+inline void Preload(const std::vector<sim::CacheClient*>& clients, const workload::Trace& trace,
+                    size_t value_bytes) {
+  const std::string value(value_bytes, 'v');
+  std::vector<bool> seen;
+  uint64_t max_key = 0;
+  for (const auto& r : trace) {
+    max_key = std::max(max_key, r.key);
+  }
+  seen.assign(max_key + 1, false);
+  size_t i = 0;
+  for (const auto& r : trace) {
+    if (!seen[r.key]) {
+      seen[r.key] = true;
+      clients[i % clients.size()]->Set(workload::KeyString(r.key), value);
+      ++i;
+    }
+  }
+}
+
+}  // namespace ditto::bench
+
+#endif  // DITTO_BENCH_BENCH_COMMON_H_

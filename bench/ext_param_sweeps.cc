@@ -1,0 +1,97 @@
+// Parameter-sensitivity sweeps for the design parameters the paper fixes by
+// grid search (§5.1): the eviction sample count, the eviction-history size,
+// the adaptive learning rate, and the lazy weight-update batch. One table
+// per parameter, all on the webmail-like workload with the 500us penalty.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace ditto;
+
+struct SweepResult {
+  double hit_rate;
+  double tput;
+};
+
+SweepResult Run(const workload::Trace& trace, uint64_t capacity, int clients,
+                const core::DittoConfig& config, uint64_t history_size = 0) {
+  bench::DittoDeployment d = bench::MakeDitto(bench::MakePoolConfig(capacity), config, clients);
+  if (history_size != 0) {
+    d.pool->SetHistorySize(history_size);
+  }
+  sim::RunOptions options;
+  options.miss_penalty_us = 500.0;
+  options.warmup_fraction = 0.3;
+  const sim::RunResult r = sim::RunTrace(d.raw, trace, &d.pool->node(), options);
+  return SweepResult{r.hit_rate, r.throughput_mops};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ditto;
+  Flags flags(argc, argv);
+  const uint64_t requests = flags.GetInt("requests", 150000) * flags.GetInt("scale", 1);
+  const uint64_t footprint = flags.GetInt("footprint", 16000);
+  const int clients = static_cast<int>(flags.GetInt("clients", 16));
+
+  const workload::Trace trace = workload::MakeNamedTrace("webmail", requests, footprint, 31);
+  const uint64_t capacity = workload::Footprint(trace) / 10;
+
+  bench::PrintHeader("Extension: parameter sweeps",
+                     "sensitivity of the paper's grid-searched parameters (webmail-like)");
+
+  std::printf("\n# eviction sample count (paper/Redis default: 5)\n");
+  std::printf("%-10s %10s %12s\n", "samples", "hit_rate", "ptput_mops");
+  for (const int samples : {1, 3, 5, 10, 20}) {
+    core::DittoConfig config;
+    config.experts = {"lru", "lfu"};
+    config.num_samples = samples;
+    const SweepResult r = Run(trace, capacity, clients, config);
+    std::printf("%-10d %10.4f %12.4f\n", samples, r.hit_rate, r.tput);
+  }
+
+  std::printf("\n# eviction-history size as a fraction of cache size (paper: 1.0)\n");
+  std::printf("%-10s %10s %12s\n", "hist/cap", "hit_rate", "ptput_mops");
+  for (const double frac : {0.1, 0.5, 1.0, 2.0}) {
+    core::DittoConfig config;
+    config.experts = {"lru", "lfu"};
+    const SweepResult r = Run(trace, capacity, clients, config,
+                              static_cast<uint64_t>(frac * static_cast<double>(capacity)));
+    std::printf("%-10.1f %10.4f %12.4f\n", frac, r.hit_rate, r.tput);
+  }
+
+  std::printf("\n# adaptive learning rate lambda (paper: 0.1)\n");
+  std::printf("%-10s %10s %12s\n", "lambda", "hit_rate", "ptput_mops");
+  for (const double lr : {0.01, 0.05, 0.1, 0.3, 1.0}) {
+    core::DittoConfig config;
+    config.experts = {"lru", "lfu"};
+    config.learning_rate = lr;
+    const SweepResult r = Run(trace, capacity, clients, config);
+    std::printf("%-10.2f %10.4f %12.4f\n", lr, r.hit_rate, r.tput);
+  }
+
+  std::printf("\n# lazy weight-update batch size (paper: 100; 1 = eager RPC per regret)\n");
+  std::printf("%-10s %10s %12s %14s\n", "batch", "hit_rate", "ptput_mops", "weight_rpcs");
+  for (const int batch : {1, 10, 100, 1000}) {
+    core::DittoConfig config;
+    config.experts = {"lru", "lfu"};
+    config.penalty_batch = batch;
+    bench::DittoDeployment d =
+        bench::MakeDitto(bench::MakePoolConfig(capacity), config, clients);
+    sim::RunOptions options;
+    options.miss_penalty_us = 500.0;
+    options.warmup_fraction = 0.3;
+    const sim::RunResult r = sim::RunTrace(d.raw, trace, &d.pool->node(), options);
+    std::printf("%-10d %10.4f %12.4f %14llu\n", batch, r.hit_rate, r.throughput_mops,
+                static_cast<unsigned long long>(r.rpc_ops));
+  }
+
+  std::printf("\n# expected shape: hit rate improves steeply from 1 to 5 samples then\n"
+              "# flattens; tiny histories slow adaptation; lambda is forgiving across an\n"
+              "# order of magnitude; batching cuts weight-update RPCs ~100x at no hit-rate\n"
+              "# cost (the lazy weight update claim).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 15: throughput of Ditto, CliqueMap and the Redis model as the
+// number of memory-node CPU cores grows (256 clients, YCSB-A and YCSB-C).
+//
+// Expected shape: Ditto is flat (it never uses MN compute); CliqueMap scales
+// with cores and needs 20+ to approach Ditto on YCSB-C; Redis is bounded by
+// its hottest shard regardless of core count on the skewed workload.
+#include <cstdio>
+
+#include "baselines/redis_model.h"
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ditto;
+  Flags flags(argc, argv);
+  const uint64_t keys = flags.GetInt("keys", 50000);
+  const uint64_t requests = flags.GetInt("requests", 120000) * flags.GetInt("scale", 1);
+  const int clients = static_cast<int>(flags.GetInt("clients", 128));
+
+  bench::PrintHeader("Figure 15", "throughput vs MN CPU cores (256 clients in the paper)");
+
+  for (const char workload : {'A', 'C'}) {
+    workload::YcsbConfig ycsb;
+    ycsb.workload = workload;
+    ycsb.num_keys = keys;
+    const workload::Trace trace = workload::MakeYcsbTrace(ycsb, requests, 1);
+
+    std::printf("\n# YCSB-%c\n", workload);
+    std::printf("%-8s %12s %12s %12s\n", "cores", "ditto_mops", "cm_mops", "redis_mops");
+    for (const int cores : {1, 2, 4, 8, 16, 32}) {
+      core::DittoConfig ditto_config;
+      ditto_config.experts = {"lru", "lfu"};
+      bench::DittoDeployment ditto =
+          bench::MakeDitto(bench::MakePoolConfig(keys * 2, cores), ditto_config, clients);
+      bench::Preload(ditto.raw, trace, 232);
+
+      baselines::CliqueMapConfig cm_config;
+      cm_config.sync_every = 100;
+      bench::CmDeployment cm =
+          bench::MakeCliqueMap(bench::MakePoolConfig(keys * 2, cores), cm_config, clients);
+      bench::Preload(cm.raw, trace, 232);
+
+      sim::RunOptions options;
+      options.set_on_miss = false;
+      const sim::RunResult rd = sim::RunTrace(ditto.raw, trace, &ditto.pool->node(), options);
+      const sim::RunResult rc = sim::RunTrace(cm.raw, trace, &cm.pool->node(), options);
+
+      baselines::RedisModelConfig redis_config;
+      redis_config.initial_shards = cores;
+      redis_config.num_keys = keys;
+      baselines::RedisModel redis(redis_config);
+      std::printf("%-8d %12.3f %12.3f %12.3f\n", cores, rd.throughput_mops,
+                  rc.throughput_mops, redis.SteadyThroughputMops(cores));
+    }
+  }
+  std::printf("\n# expected shape: Ditto flat; CliqueMap scales with cores; Redis bounded\n"
+              "# by its hottest shard under the zipfian skew.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 16: penalized throughput (each miss pays a 500us fetch from the
+// backing distributed store) of Ditto, Ditto-LRU, Ditto-LFU, CM-LRU and
+// CM-LFU across five real-world-like workloads.
+#include <cstdio>
+
+#include "realworld_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ditto;
+  Flags flags(argc, argv);
+  const uint64_t requests = flags.GetInt("requests", 150000) * flags.GetInt("scale", 1);
+  const uint64_t footprint = flags.GetInt("footprint", 20000);
+  // The paper uses 64 clients and sets cache sizes where hit rates are high;
+  // that is where CliqueMap's MN-CPU ceiling binds and Ditto pulls ahead.
+  const int clients = static_cast<int>(flags.GetInt("clients", 64));
+  const double cache_frac = flags.GetDouble("cache_frac", 0.3);
+
+  bench::PrintHeader("Figure 16",
+                     "penalized throughput on real-world-like workloads (500us miss penalty)");
+  std::printf("%-20s %10s %10s %10s %10s %10s  (Mops)\n", "workload", "ditto", "ditto-lru",
+              "ditto-lfu", "cm-lru", "cm-lfu");
+
+  const std::vector<std::string> workloads = {"webmail", "twitter-transient",
+                                              "twitter-storage", "twitter-compute", "ibm"};
+  const std::vector<std::string> variants = {"ditto", "ditto-lru", "ditto-lfu", "cm-lru",
+                                             "cm-lfu"};
+  for (const std::string& name : workloads) {
+    const workload::Trace trace = workload::MakeNamedTrace(name, requests, footprint, 5);
+    const auto capacity = static_cast<uint64_t>(
+        cache_frac * static_cast<double>(workload::Footprint(trace)));
+    std::printf("%-20s", name.c_str());
+    for (const std::string& variant : variants) {
+      const bench::VariantResult r =
+          bench::RunVariant(variant, trace, capacity, clients, 500.0);
+      std::printf(" %10.4f", r.throughput_mops);
+    }
+    std::printf("\n");
+  }
+  // High-hit-rate regime: the paper's Twitter workloads run at ~95%+ hit
+  // rates, where the request rate exceeds what the weak MN CPU can serve for
+  // CliqueMap (Set RPCs + access-info merging) while Ditto stays NIC-bound.
+  std::printf("\n# high-hit regime (cache ~= footprint): CliqueMap's MN-CPU ceiling binds\n");
+  std::printf("%-20s", "twitter-storage-hot");
+  const workload::Trace hot = workload::MakeNamedTrace("twitter-storage", requests,
+                                                       footprint / 4, 6);
+  const uint64_t hot_capacity = workload::Footprint(hot);
+  for (const std::string& variant : variants) {
+    const bench::VariantResult r = bench::RunVariant(variant, hot, hot_capacity, clients, 500.0);
+    std::printf(" %10.4f", r.throughput_mops);
+  }
+  std::printf("\n");
+
+  std::printf("\n# expected shape: Ditto tracks the better of Ditto-LRU/Ditto-LFU. At\n"
+              "# moderate hit rates all systems are miss-penalty-bound (within ~5%%); in\n"
+              "# the high-hit regime CliqueMap hits its MN-CPU ceiling and Ditto wins.\n");
+  return 0;
+}

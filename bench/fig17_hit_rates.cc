@@ -1,0 +1,38 @@
+// Figure 17: hit rates of Ditto, Ditto-LRU, Ditto-LFU, CM-LRU and CM-LFU on
+// five real-world-like workloads across cache sizes (fraction of footprint).
+#include <cstdio>
+
+#include "realworld_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ditto;
+  Flags flags(argc, argv);
+  const uint64_t requests = flags.GetInt("requests", 150000) * flags.GetInt("scale", 1);
+  const uint64_t footprint = flags.GetInt("footprint", 20000);
+  const int clients = static_cast<int>(flags.GetInt("clients", 16));
+
+  bench::PrintHeader("Figure 17", "hit rates on real-world-like workloads vs cache size");
+  std::printf("%-20s %-8s %10s %10s %10s %10s %10s\n", "workload", "frac", "ditto",
+              "ditto-lru", "ditto-lfu", "cm-lru", "cm-lfu");
+
+  const std::vector<std::string> workloads = {"webmail", "twitter-transient",
+                                              "twitter-storage", "twitter-compute", "ibm"};
+  const std::vector<std::string> variants = {"ditto", "ditto-lru", "ditto-lfu", "cm-lru",
+                                             "cm-lfu"};
+  for (const std::string& name : workloads) {
+    const workload::Trace trace = workload::MakeNamedTrace(name, requests, footprint, 5);
+    const uint64_t fp = workload::Footprint(trace);
+    for (const double frac : {0.05, 0.10, 0.20, 0.40}) {
+      const auto capacity = static_cast<uint64_t>(frac * static_cast<double>(fp));
+      std::printf("%-20s %-8.2f", name.c_str(), frac);
+      for (const std::string& variant : variants) {
+        const bench::VariantResult r =
+            bench::RunVariant(variant, trace, capacity, clients, 0.0);
+        std::printf(" %10.4f", r.hit_rate);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n# expected shape: Ditto approaches max(Ditto-LRU, Ditto-LFU) everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 20: relative hit rates (normalized to Ditto-LRU) as the proportion
+// of clients assigned to an LRU-friendly application vs an LFU-friendly one
+// varies. Ditto adapts to whichever mixture the compute allocation creates.
+#include <cstdio>
+
+#include "realworld_common.h"
+
+int main(int argc, char** argv) {
+  using namespace ditto;
+  Flags flags(argc, argv);
+  const uint64_t requests = flags.GetInt("requests", 150000) * flags.GetInt("scale", 1);
+  const uint64_t footprint = flags.GetInt("footprint", 16000);
+  const int clients = static_cast<int>(flags.GetInt("clients", 16));
+
+  bench::PrintHeader("Figure 20", "hit rate vs LRU-app client proportion (normalized to "
+                                  "ditto-lru)");
+  std::printf("%-12s %10s %10s %10s %12s %12s\n", "lru_portion", "ditto", "d-lru", "d-lfu",
+              "ditto_rel", "lfu_rel");
+
+  for (const double lru_portion : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const auto n_lru = static_cast<uint64_t>(lru_portion * static_cast<double>(requests));
+    workload::Trace lru_app = workload::MakeShiftingHotSet(
+        n_lru, footprint, footprint / 10, requests / 60, footprint / 16, 3);
+    workload::Trace lfu_app = workload::MakeLfuFriendly(requests - n_lru, footprint / 2, 0.99,
+                                                        0.3, 4, 2 * footprint);
+    workload::Trace mixed;
+    mixed.reserve(requests);
+    size_t ia = 0;
+    size_t ib = 0;
+    Rng rng(7);
+    while (ia < lru_app.size() || ib < lfu_app.size()) {
+      const bool from_a =
+          ib >= lfu_app.size() || (ia < lru_app.size() && rng.NextDouble() < lru_portion);
+      mixed.push_back(from_a ? lru_app[ia++] : lfu_app[ib++]);
+    }
+    const uint64_t capacity = workload::Footprint(mixed) / 10;
+    const double ditto = bench::RunVariant("ditto", mixed, capacity, clients, 0.0).hit_rate;
+    const double lru = bench::RunVariant("ditto-lru", mixed, capacity, clients, 0.0).hit_rate;
+    const double lfu = bench::RunVariant("ditto-lfu", mixed, capacity, clients, 0.0).hit_rate;
+    std::printf("%-12.1f %10.4f %10.4f %10.4f %12.3f %12.3f\n", lru_portion, ditto, lru, lfu,
+                ditto / std::max(lru, 1e-9), lfu / std::max(lru, 1e-9));
+  }
+  std::printf("\n# expected shape: ditto >= ditto-lru at low LRU portions (tracks LFU) and\n"
+              "# converges to ditto-lru as the LRU portion grows.\n");
+  return 0;
+}

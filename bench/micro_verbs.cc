@@ -1,0 +1,108 @@
+// Microbenchmarks of the simulated-RDMA substrate primitives (real wall-clock
+// cost of the simulation itself, via google-benchmark). These guard against
+// the simulator becoming the bottleneck of the experiment harness.
+#include <benchmark/benchmark.h>
+
+#include "common/hash.h"
+#include "common/rand.h"
+#include "core/ditto_client.h"
+#include "dm/pool.h"
+#include "rdma/verbs.h"
+#include "workloads/trace.h"
+
+namespace {
+
+using namespace ditto;
+
+void BM_ArenaRead256(benchmark::State& state) {
+  rdma::MemoryArena arena(1 << 20);
+  uint8_t buf[256];
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    arena.Read(addr, buf, sizeof(buf));
+    addr = (addr + 256) & ((1 << 20) - 256 - 1) & ~7ULL;
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_ArenaRead256);
+
+void BM_ArenaCas(benchmark::State& state) {
+  rdma::MemoryArena arena(4096);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arena.CompareSwap(64, i, i + 1));
+    ++i;
+  }
+}
+BENCHMARK(BM_ArenaCas);
+
+void BM_VerbReadCosted(benchmark::State& state) {
+  rdma::RemoteNode node(1 << 20, rdma::CostModel{});
+  rdma::ClientContext ctx(0);
+  rdma::Verbs verbs(&node, &ctx);
+  uint8_t buf[320];
+  for (auto _ : state) {
+    verbs.Read(0, buf, sizeof(buf));
+    benchmark::DoNotOptimize(buf);
+  }
+}
+BENCHMARK(BM_VerbReadCosted);
+
+void BM_HashKey(benchmark::State& state) {
+  const std::string key = workload::KeyString(0x123456789);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashKey(key));
+  }
+}
+BENCHMARK(BM_HashKey);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  Rng rng(1);
+  ScrambledZipfianGenerator zipf(10'000'000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_DittoGetHit(benchmark::State& state) {
+  dm::PoolConfig pool_config;
+  pool_config.memory_bytes = 32 << 20;
+  pool_config.num_buckets = 4096;
+  pool_config.cost = rdma::CostModel::Disabled();
+  dm::MemoryPool pool(pool_config);
+  core::DittoConfig config;
+  config.experts = {"lru", "lfu"};
+  core::DittoServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  core::DittoClient client(&pool, &ctx, config);
+  client.Set("bench-key", std::string(232, 'v'));
+  std::string value;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Get("bench-key", &value));
+  }
+}
+BENCHMARK(BM_DittoGetHit);
+
+void BM_DittoSetUpdate(benchmark::State& state) {
+  dm::PoolConfig pool_config;
+  pool_config.memory_bytes = 32 << 20;
+  pool_config.num_buckets = 4096;
+  pool_config.cost = rdma::CostModel::Disabled();
+  dm::MemoryPool pool(pool_config);
+  core::DittoConfig config;
+  config.experts = {"lru"};
+  core::DittoServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  core::DittoClient client(&pool, &ctx, config);
+  const std::string value(232, 'v');
+  client.Set("bench-key", value);
+  for (auto _ : state) {
+    client.Set("bench-key", value);
+  }
+}
+BENCHMARK(BM_DittoSetUpdate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

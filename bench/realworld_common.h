@@ -1,0 +1,55 @@
+// Helpers shared by the real-world-workload benches (Figures 16-23): run a
+// named system variant over a trace with the paper's 500us miss penalty.
+#ifndef DITTO_BENCH_REALWORLD_COMMON_H_
+#define DITTO_BENCH_REALWORLD_COMMON_H_
+
+#include <string>
+
+#include "bench_common.h"
+
+namespace ditto::bench {
+
+struct VariantResult {
+  double hit_rate = 0.0;
+  double throughput_mops = 0.0;
+  double p99_us = 0.0;
+};
+
+// variant: "ditto" (adaptive LRU+LFU), "ditto-lru", "ditto-lfu", "cm-lru",
+// "cm-lfu", or any single caching-algorithm name ("gdsf", "lruk", ...) run
+// as a one-expert Ditto. Capacity is in objects.
+inline VariantResult RunVariant(const std::string& variant, const workload::Trace& trace,
+                                uint64_t capacity, int num_clients, double miss_penalty_us,
+                                double warmup_fraction = 0.3) {
+  sim::RunOptions options;
+  options.miss_penalty_us = miss_penalty_us;
+  options.warmup_fraction = warmup_fraction;
+
+  sim::RunResult r;
+  if (variant == "cm-lru" || variant == "cm-lfu") {
+    baselines::CliqueMapConfig config;
+    config.policy = variant == "cm-lru" ? baselines::CmPolicy::kLru : baselines::CmPolicy::kLfu;
+    config.capacity_objects = capacity;
+    config.sync_every = 100;
+    CmDeployment d = MakeCliqueMap(MakePoolConfig(capacity), config, num_clients);
+    r = sim::RunTrace(d.raw, trace, &d.pool->node(), options);
+  } else {
+    core::DittoConfig config;
+    if (variant == "ditto") {
+      config.experts = {"lru", "lfu"};
+    } else if (variant == "ditto-lru") {
+      config.experts = {"lru"};
+    } else if (variant == "ditto-lfu") {
+      config.experts = {"lfu"};
+    } else {
+      config.experts = {variant};
+    }
+    DittoDeployment d = MakeDitto(MakePoolConfig(capacity), config, num_clients);
+    r = sim::RunTrace(d.raw, trace, &d.pool->node(), options);
+  }
+  return VariantResult{r.hit_rate, r.throughput_mops, r.p99_us};
+}
+
+}  // namespace ditto::bench
+
+#endif  // DITTO_BENCH_REALWORLD_COMMON_H_

@@ -1,0 +1,73 @@
+// Adaptive caching demo: replay a phase-changing workload (alternating
+// LFU-friendly and LRU-friendly phases, the paper's Figure 19 scenario) and
+// watch the distributed adaptive caching scheme re-weight its experts at
+// every phase switch.
+//
+//   ./examples/adaptive_webmail [--phases=4] [--phase_len=60000] [--clients=8]
+#include <cstdio>
+
+#include "common/flags.h"
+#include "core/ditto_client.h"
+#include "dm/pool.h"
+#include "sim/adapters.h"
+#include "sim/runner.h"
+#include "workloads/synthetic_traces.h"
+
+int main(int argc, char** argv) {
+  using namespace ditto;
+  Flags flags(argc, argv);
+  const int phases = static_cast<int>(flags.GetInt("phases", 4));
+  const uint64_t phase_len = flags.GetInt("phase_len", 60000);
+  const int num_clients = static_cast<int>(flags.GetInt("clients", 8));
+  const uint64_t footprint = 10000;
+
+  const workload::Trace trace =
+      workload::MakeChangingWorkload(phases, phase_len, footprint, 42);
+
+  dm::PoolConfig pool_config;
+  pool_config.memory_bytes = 64 << 20;
+  pool_config.num_buckets = 2048;
+  pool_config.capacity_objects = footprint / 4;
+  dm::MemoryPool pool(pool_config);
+
+  core::DittoConfig config;
+  config.experts = {"lru", "lfu"};
+  core::DittoServer server(&pool, config);
+
+  std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+  std::vector<std::unique_ptr<sim::DittoCacheClient>> clients;
+  std::vector<sim::CacheClient*> raw;
+  for (int i = 0; i < num_clients; ++i) {
+    ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+    clients.push_back(std::make_unique<sim::DittoCacheClient>(&pool, ctxs.back().get(), config));
+    raw.push_back(clients.back().get());
+  }
+
+  std::printf("replaying %d phases of %llu requests (phase 0, 2, ... are LFU-friendly;\n"
+              "phase 1, 3, ... are LRU-friendly)\n\n",
+              phases, static_cast<unsigned long long>(phase_len));
+  std::printf("%-8s %-14s %10s %12s %12s %10s\n", "phase", "pattern", "hit_rate", "w_lru",
+              "w_lfu", "regrets");
+
+  for (int p = 0; p < phases; ++p) {
+    const workload::Trace phase(trace.begin() + p * phase_len,
+                                trace.begin() + (p + 1) * phase_len);
+    sim::RunOptions options;
+    options.miss_penalty_us = 500.0;
+    const sim::RunResult r = sim::RunTrace(raw, phase, &pool.node(), options);
+    uint64_t regrets = 0;
+    for (const auto& client : clients) {
+      regrets += client->ditto().stats().regrets;
+    }
+    const auto& w = clients[0]->ditto().expert_weights();
+    std::printf("%-8d %-14s %10.4f %12.3f %12.3f %10llu\n", p,
+                p % 2 == 0 ? "LFU-friendly" : "LRU-friendly", r.hit_rate, w[0], w[1],
+                static_cast<unsigned long long>(regrets));
+  }
+  std::printf("\nregret minimization penalizes whichever expert keeps evicting objects\n"
+              "that miss shortly afterwards, so the weights drift toward the\n"
+              "phase-appropriate expert. Adaptation speed tracks the miss flow: in\n"
+              "high-hit phases regrets are rare and the weights move slowly (which\n"
+              "costs nothing, because decisions only matter when evictions happen).\n");
+  return 0;
+}

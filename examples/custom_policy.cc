@@ -1,0 +1,73 @@
+// Integrating a custom caching algorithm — the paper's headline flexibility
+// claim: a new algorithm is a priority function (and optionally a metadata
+// update rule), typically around a dozen lines.
+//
+// This example adds "wlfu", a cost-weighted LFU that protects objects that
+// are expensive to refetch, registers it with the policy registry, and runs
+// it both standalone and as a third adaptive expert next to LRU and LFU.
+//
+//   ./examples/custom_policy
+#include <cstdio>
+
+#include "core/ditto_client.h"
+#include "dm/pool.h"
+#include "policies/policy.h"
+#include "sim/adapters.h"
+#include "sim/runner.h"
+#include "workloads/synthetic_traces.h"
+
+namespace {
+
+using ditto::policy::CachePolicy;
+using ditto::policy::Metadata;
+
+// The entire integration effort for the new algorithm (12 lines):
+class WeightedLfuPolicy : public CachePolicy {
+ public:
+  std::string name() const override { return "wlfu"; }
+  double Priority(const Metadata& m) const override {
+    // Refetch cost scales with object size; hotter and costlier objects
+    // deserve to stay.
+    return static_cast<double>(m.freq) *
+           (m.cost + static_cast<double>(m.size_bytes) / 1024.0);
+  }
+};
+
+std::unique_ptr<CachePolicy> MakeWeightedLfu() { return std::make_unique<WeightedLfuPolicy>(); }
+
+}  // namespace
+
+int main() {
+  using namespace ditto;
+  policy::RegisterPolicy("wlfu", MakeWeightedLfu);
+
+  const workload::Trace trace = workload::MakeLfuFriendly(120000, 5000, 0.99, 0.3, 7);
+  const uint64_t capacity = 1500;
+
+  const auto run = [&](const std::vector<std::string>& experts) {
+    dm::PoolConfig pool_config;
+    pool_config.memory_bytes = 64 << 20;
+    pool_config.num_buckets = 1024;
+    pool_config.capacity_objects = capacity;
+    dm::MemoryPool pool(pool_config);
+    core::DittoConfig config;
+    config.experts = experts;
+    core::DittoServer server(&pool, config);
+    rdma::ClientContext ctx(0);
+    sim::DittoCacheClient client(&pool, &ctx, config);
+    std::vector<sim::CacheClient*> raw = {&client};
+    sim::RunOptions options;
+    options.warmup_fraction = 0.25;
+    return sim::RunTrace(raw, trace, &pool.node(), options).hit_rate;
+  };
+
+  std::printf("custom algorithm 'wlfu' (cost-weighted LFU), 12 lines of code:\n\n");
+  std::printf("  %-24s hit rate\n", "configuration");
+  std::printf("  %-24s %.4f\n", "ditto {lru}", run({"lru"}));
+  std::printf("  %-24s %.4f\n", "ditto {lfu}", run({"lfu"}));
+  std::printf("  %-24s %.4f\n", "ditto {wlfu}", run({"wlfu"}));
+  std::printf("  %-24s %.4f\n", "ditto {lru,lfu,wlfu}", run({"lru", "lfu", "wlfu"}));
+  std::printf("\nthe adaptive configuration treats the custom algorithm as a third\n"
+              "expert and learns whether it helps on the live workload.\n");
+  return 0;
+}

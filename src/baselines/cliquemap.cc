@@ -1,0 +1,275 @@
+#include "baselines/cliquemap.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/hash.h"
+#include "core/object.h"
+
+namespace ditto::baselines {
+namespace {
+
+struct SetRequestHeader {
+  uint16_t key_len;
+  uint32_t val_len;
+};
+
+}  // namespace
+
+CliqueMapServer::CliqueMapServer(dm::MemoryPool* pool, const CliqueMapConfig& config)
+    : pool_(pool),
+      config_(config),
+      capacity_(config.capacity_objects != 0 ? config.capacity_objects
+                                             : pool->capacity_objects()),
+      bump_(pool->heap_addr() + dm::kBlockBytes),
+      free_runs_(dm::kMaxRunBlocks + 1) {
+  pool->RegisterRpc(kRpcCmSet, [this](std::string_view request) { return HandleSet(request); });
+  pool->RegisterRpc(kRpcCmSync,
+                    [this](std::string_view request) { return HandleSync(request); });
+}
+
+uint64_t CliqueMapServer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+uint64_t CliqueMapServer::AllocBlocksLocked(int blocks) {
+  if (!free_runs_[blocks].empty()) {
+    const uint64_t addr = free_runs_[blocks].back();
+    free_runs_[blocks].pop_back();
+    return addr;
+  }
+  const uint64_t want = static_cast<uint64_t>(blocks) * dm::kBlockBytes;
+  if (bump_ + want > pool_->heap_addr() + pool_->heap_bytes()) {
+    return 0;
+  }
+  const uint64_t addr = bump_;
+  bump_ += want;
+  return addr;
+}
+
+void CliqueMapServer::FreeBlocksLocked(uint64_t addr, int blocks) {
+  free_runs_[blocks].push_back(addr);
+}
+
+void CliqueMapServer::TouchLocked(uint64_t hash, uint64_t count) {
+  if (index_.count(hash) == 0) {
+    return;  // access info for an already-evicted object
+  }
+  if (config_.policy == CmPolicy::kLru) {
+    lru_.Touch(hash);
+  } else {
+    for (uint64_t i = 0; i < count; ++i) {
+      lfu_.Touch(hash);
+    }
+  }
+}
+
+void CliqueMapServer::EvictOneLocked() {
+  uint64_t victim;
+  if (config_.policy == CmPolicy::kLru) {
+    victim = lru_.EvictVictim();
+  } else {
+    victim = lfu_.EvictVictim();
+  }
+  const auto it = index_.find(victim);
+  assert(it != index_.end());
+  // Clear the slot so client RMA Gets observe the eviction.
+  pool_->node().arena().WriteU64(it->second.slot_addr + ht::kAtomicOff, 0);
+  FreeBlocksLocked(it->second.obj_addr, it->second.blocks);
+  index_.erase(it);
+}
+
+std::string CliqueMapServer::HandleSet(std::string_view request) {
+  SetRequestHeader header;
+  std::memcpy(&header, request.data(), sizeof(header));
+  const std::string_view key = request.substr(sizeof(header), header.key_len);
+  const std::string_view value = request.substr(sizeof(header) + header.key_len, header.val_len);
+  const uint64_t hash = HashKey(key);
+  const uint8_t fp = Fingerprint(hash);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  const int blocks = core::ObjectBlocks(key.size(), value.size(), 0);
+  auto it = index_.find(hash);
+  if (it != index_.end()) {
+    // Update in place: rewrite the object (reallocate if the size changed).
+    FreeBlocksLocked(it->second.obj_addr, it->second.blocks);
+    const uint64_t addr = AllocBlocksLocked(blocks);
+    if (addr == 0) {
+      return std::string(1, '\0');
+    }
+    std::vector<uint8_t> buf;
+    core::EncodeObject(key, value, nullptr, 0, &buf);
+    pool_->node().arena().Write(addr, buf.data(), buf.size());
+    pool_->node().arena().WriteU64(it->second.slot_addr + ht::kAtomicOff,
+                                   ht::PackAtomic(fp, static_cast<uint8_t>(blocks), addr));
+    it->second.obj_addr = addr;
+    it->second.blocks = blocks;
+    TouchLocked(hash, 1);
+    return std::string(1, '\1');
+  }
+
+  while (index_.size() >= capacity_ && !index_.empty()) {
+    EvictOneLocked();
+  }
+  uint64_t addr = AllocBlocksLocked(blocks);
+  while (addr == 0 && !index_.empty()) {
+    // Heap fragmentation/pressure: evict until an allocation fits.
+    EvictOneLocked();
+    addr = AllocBlocksLocked(blocks);
+  }
+  if (addr == 0) {
+    return std::string(1, '\0');
+  }
+  return FinishInsertLocked(addr, key, value, hash, fp, blocks);
+}
+
+void CliqueMapServer::EvictSpecificLocked(uint64_t hash) {
+  const auto it = index_.find(hash);
+  if (it == index_.end()) {
+    return;
+  }
+  lru_.Erase(hash);
+  lfu_.Erase(hash);
+  pool_->node().arena().WriteU64(it->second.slot_addr + ht::kAtomicOff, 0);
+  FreeBlocksLocked(it->second.obj_addr, it->second.blocks);
+  index_.erase(it);
+}
+
+std::string CliqueMapServer::FinishInsertLocked(uint64_t addr, std::string_view key,
+                                                std::string_view value, uint64_t hash,
+                                                uint8_t fp, int blocks) {
+  std::vector<uint8_t> buf;
+  core::EncodeObject(key, value, nullptr, 0, &buf);
+  rdma::MemoryArena& arena = pool_->node().arena();
+  arena.Write(addr, buf.data(), buf.size());
+
+  // Find a slot in the key's bucket; if the bucket is full, evict one of its
+  // occupants (the index stays consistent because the server is the only
+  // writer of the table).
+  const uint64_t bucket = hash % pool_->num_buckets();
+  const int slots = pool_->slots_per_bucket();
+  int target = -1;
+  for (int sweep = 0; sweep < 2 && target < 0; ++sweep) {
+    for (int i = 0; i < slots; ++i) {
+      const uint64_t slot_addr = pool_->table_addr() + (bucket * slots + i) * ht::kSlotBytes;
+      if (arena.ReadU64(slot_addr + ht::kAtomicOff) == 0) {
+        target = i;
+        break;
+      }
+    }
+    if (target < 0) {
+      // Evict the first occupant of the bucket to make room.
+      const uint64_t first_slot = pool_->table_addr() + bucket * slots * ht::kSlotBytes;
+      EvictSpecificLocked(arena.ReadU64(first_slot + ht::kHashOff));
+    }
+  }
+  if (target < 0) {
+    FreeBlocksLocked(addr, blocks);
+    return std::string(1, '\0');
+  }
+  const uint64_t slot_addr = pool_->table_addr() + (bucket * slots + target) * ht::kSlotBytes;
+  arena.WriteU64(slot_addr + ht::kHashOff, hash);
+  arena.WriteU64(slot_addr + ht::kAtomicOff,
+                 ht::PackAtomic(fp, static_cast<uint8_t>(blocks), addr));
+
+  index_[hash] = Entry{slot_addr, addr, blocks};
+  if (config_.policy == CmPolicy::kLru) {
+    lru_.Touch(hash);
+  } else {
+    lfu_.Touch(hash);
+  }
+  return std::string(1, '\1');
+}
+
+std::string CliqueMapServer::HandleSync(std::string_view request) {
+  // Request: repeated {hash u64, count u64}.
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t entries = request.size() / 16;
+  for (size_t i = 0; i < entries; ++i) {
+    uint64_t hash;
+    uint64_t count;
+    std::memcpy(&hash, request.data() + i * 16, 8);
+    std::memcpy(&count, request.data() + i * 16 + 8, 8);
+    TouchLocked(hash, count);
+  }
+  return std::string(1, '\1');
+}
+
+CliqueMapClient::CliqueMapClient(dm::MemoryPool* pool, CliqueMapServer* server,
+                                 rdma::ClientContext* ctx)
+    : pool_(pool), server_(server), ctx_(ctx), verbs_(&pool->node(), ctx), table_(pool, &verbs_) {}
+
+bool CliqueMapClient::Get(std::string_view key, std::string* value) {
+  counters_.gets++;
+  const uint64_t hash = HashKey(key);
+  const uint8_t fp = Fingerprint(hash);
+  const uint64_t bucket = table_.BucketIndexFor(hash);
+  table_.ReadBucket(bucket, &bucket_buf_);
+  for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+    const ht::SlotView& slot = bucket_buf_[i];
+    if (!slot.IsObject() || slot.fp() != fp || slot.hash != hash) {
+      continue;
+    }
+    const size_t bytes = static_cast<size_t>(slot.size_blocks()) * dm::kBlockBytes;
+    object_buf_.resize(bytes);
+    verbs_.Read(slot.pointer(), object_buf_.data(), bytes);
+    core::DecodedObject obj;
+    if (!core::DecodeObject(object_buf_.data(), bytes, &obj) || obj.key != key) {
+      continue;
+    }
+    if (value != nullptr) {
+      value->assign(obj.value);
+    }
+    RecordAccess(hash);
+    counters_.hits++;
+    return true;
+  }
+  counters_.misses++;
+  return false;
+}
+
+void CliqueMapClient::Set(std::string_view key, std::string_view value) {
+  counters_.sets++;
+  SetRequestHeader header{static_cast<uint16_t>(key.size()), static_cast<uint32_t>(value.size())};
+  std::string request(sizeof(header) + key.size() + value.size(), '\0');
+  std::memcpy(request.data(), &header, sizeof(header));
+  std::memcpy(request.data() + sizeof(header), key.data(), key.size());
+  std::memcpy(request.data() + sizeof(header) + key.size(), value.data(), value.size());
+  verbs_.Rpc(kRpcCmSet, request, server_->config().set_service_us);
+}
+
+void CliqueMapClient::RecordAccess(uint64_t hash) {
+  access_buffer_[hash]++;
+  buffered_++;
+  if (buffered_ >= server_->config().sync_every) {
+    SyncAccessInfo();
+  }
+}
+
+void CliqueMapClient::SyncAccessInfo() {
+  if (access_buffer_.empty()) {
+    return;
+  }
+  std::string request(access_buffer_.size() * 16, '\0');
+  size_t i = 0;
+  for (const auto& [hash, count] : access_buffer_) {
+    std::memcpy(request.data() + i * 16, &hash, 8);
+    std::memcpy(request.data() + i * 16 + 8, &count, 8);
+    ++i;
+  }
+  const double service_us =
+      server_->config().sync_service_us_per_entry * static_cast<double>(access_buffer_.size());
+  verbs_.Rpc(kRpcCmSync, request, service_us);
+  access_buffer_.clear();
+  buffered_ = 0;
+}
+
+void CliqueMapClient::Finish() { SyncAccessInfo(); }
+
+void CliqueMapClient::ResetForMeasurement() {
+  counters_ = sim::ClientCounters{};
+  ctx_->op_hist().Reset();
+}
+
+}  // namespace ditto::baselines

@@ -1,0 +1,112 @@
+// CliqueMap baseline (Singhvi et al., SIGCOMM'21), reimplemented from its
+// paper as the authors of Ditto did: Gets are client-side RMA (index READ +
+// object READ); Sets are RPCs executed by the memory-node CPU, which also
+// maintains a precise LRU list or LFU structure and evicts when the cache is
+// at capacity. Clients buffer access information locally and periodically
+// ship it to the server, whose CPU merges it into the caching structure
+// (this merge is what saturates the weak MN CPU on read-heavy workloads).
+// Replication and fault tolerance are omitted, as in the paper's comparison.
+#ifndef DITTO_BASELINES_CLIQUEMAP_H_
+#define DITTO_BASELINES_CLIQUEMAP_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dm/pool.h"
+#include "hashtable/hash_table.h"
+#include "policies/precise.h"
+#include "rdma/verbs.h"
+#include "sim/client_iface.h"
+
+namespace ditto::baselines {
+
+enum class CmPolicy { kLru, kLfu };
+
+struct CliqueMapConfig {
+  CmPolicy policy = CmPolicy::kLru;
+  uint64_t capacity_objects = 0;  // 0 = pool capacity
+  int sync_every = 100;           // accesses buffered before the access-info RPC
+  double set_service_us = 2.0;    // MN CPU cost of one Set (alloc+index+structure)
+  double sync_service_us_per_entry = 0.3;  // MN CPU cost of merging one access record
+};
+
+// RPC ids (distinct from the dm:: ones).
+inline constexpr uint32_t kRpcCmSet = 10;
+inline constexpr uint32_t kRpcCmSync = 11;
+
+// Host-side server. Owns the index layout inside the pool's arena (so client
+// Gets can RMA-read it) and the precise caching structure. Construct once.
+class CliqueMapServer {
+ public:
+  CliqueMapServer(dm::MemoryPool* pool, const CliqueMapConfig& config);
+
+  uint64_t size() const;
+  const CliqueMapConfig& config() const { return config_; }
+
+ private:
+  friend class CliqueMapClient;
+
+  std::string HandleSet(std::string_view request);
+  std::string HandleSync(std::string_view request);
+
+  // Precondition: mu_ held.
+  void TouchLocked(uint64_t hash, uint64_t count);
+  void EvictOneLocked();
+  void EvictSpecificLocked(uint64_t hash);
+  uint64_t AllocBlocksLocked(int blocks);
+  void FreeBlocksLocked(uint64_t addr, int blocks);
+  std::string FinishInsertLocked(uint64_t addr, std::string_view key, std::string_view value,
+                                 uint64_t hash, uint8_t fp, int blocks);
+
+  dm::MemoryPool* pool_;
+  CliqueMapConfig config_;
+  uint64_t capacity_;
+
+  mutable std::mutex mu_;
+  // hash -> (bucket slot index in table, object addr, blocks)
+  struct Entry {
+    uint64_t slot_addr;
+    uint64_t obj_addr;
+    int blocks;
+  };
+  std::unordered_map<uint64_t, Entry> index_;
+  policy::PreciseLru lru_;
+  policy::PreciseLfu lfu_;
+  // Host-managed heap: bump + per-run-length freelists.
+  uint64_t bump_;
+  std::vector<std::vector<uint64_t>> free_runs_;
+};
+
+class CliqueMapClient : public sim::CacheClient {
+ public:
+  CliqueMapClient(dm::MemoryPool* pool, CliqueMapServer* server, rdma::ClientContext* ctx);
+
+  bool Get(std::string_view key, std::string* value) override;
+  void Set(std::string_view key, std::string_view value) override;
+
+  rdma::ClientContext& ctx() override { return *ctx_; }
+  sim::ClientCounters counters() const override { return counters_; }
+  void Finish() override;
+  void ResetForMeasurement() override;
+
+ private:
+  void RecordAccess(uint64_t hash);
+  void SyncAccessInfo();
+
+  dm::MemoryPool* pool_;
+  CliqueMapServer* server_;
+  rdma::ClientContext* ctx_;
+  rdma::Verbs verbs_;
+  ht::HashTable table_;
+  sim::ClientCounters counters_;
+  std::unordered_map<uint64_t, uint64_t> access_buffer_;  // hash -> count
+  int buffered_ = 0;
+  std::vector<uint8_t> object_buf_;
+  std::vector<ht::SlotView> bucket_buf_;
+};
+
+}  // namespace ditto::baselines
+
+#endif  // DITTO_BASELINES_CLIQUEMAP_H_

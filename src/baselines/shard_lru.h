@@ -1,0 +1,110 @@
+// Shard-LRU baseline (paper §5.1) and the KVC / KVC-S / KVS microbenchmark
+// structures (paper Figure 2).
+//
+// A straightforward DM cache: clients index objects through the hash table
+// and maintain lock-protected LRU lists in the memory pool with one-sided
+// verbs. The list maintenance on every access costs, under the lock:
+//   CAS (acquire) + READ (list node) + 2 WRITE (splice) + WRITE (release),
+// and failed lock acquisitions burn an RDMA_CAS each, then back off 5 us.
+//
+// Lock contention is modelled with a per-shard virtual-time FCFS queue: the
+// queueing delay a client sees is converted into the number of failed CAS
+// attempts it would have issued (delay / (backoff + CAS RTT)), and those
+// messages are charged to the NIC — which is exactly the paper's observed
+// collapse mode ("the RNIC of the MN is overwhelmed by useless RDMA_CASes").
+// Victim selection is mirrored host-side (the shadow is only read while the
+// shard lock is logically held, so it is consistent with a real remote list).
+#ifndef DITTO_BASELINES_SHARD_LRU_H_
+#define DITTO_BASELINES_SHARD_LRU_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dm/allocator.h"
+#include "dm/pool.h"
+#include "hashtable/hash_table.h"
+#include "policies/precise.h"
+#include "rdma/nic_model.h"
+#include "rdma/verbs.h"
+#include "sim/client_iface.h"
+
+namespace ditto::baselines {
+
+struct ShardLruConfig {
+  int num_shards = 32;           // 1 = KVC, 32 = KVC-S / Shard-LRU
+  bool maintain_list = true;     // false = KVS (no caching structure)
+  double backoff_us = 5.0;       // sleep after a failed lock CAS
+  uint64_t capacity_objects = 0; // 0 = pool capacity
+};
+
+// Shared state: the shard locks' queueing servers plus the host-side shadow
+// of each shard's LRU list. One instance per pool.
+class ShardLruDirectory {
+ public:
+  ShardLruDirectory(dm::MemoryPool* pool, const ShardLruConfig& config);
+
+  const ShardLruConfig& config() const { return config_; }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  friend class ShardLruClient;
+
+  struct Shard {
+    rdma::QueueingServer lock_queue;
+    std::mutex mu;
+    policy::PreciseLru lru;
+    // hash -> {slot_addr, obj_addr, blocks} so evictions can clear the slot.
+    struct Loc {
+      uint64_t slot_addr;
+      uint64_t obj_addr;
+      int blocks;
+    };
+    std::unordered_map<uint64_t, Loc> index;
+  };
+
+  ShardLruConfig config_;
+  uint64_t capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> total_objects_{0};
+};
+
+class ShardLruClient : public sim::CacheClient {
+ public:
+  ShardLruClient(dm::MemoryPool* pool, ShardLruDirectory* dir, rdma::ClientContext* ctx);
+
+  bool Get(std::string_view key, std::string* value) override;
+  void Set(std::string_view key, std::string_view value) override;
+
+  rdma::ClientContext& ctx() override { return *ctx_; }
+  sim::ClientCounters counters() const override { return counters_; }
+  void ResetForMeasurement() override;
+
+  uint64_t lock_retries() const { return lock_retries_; }
+
+ private:
+  // Performs the locked critical section around `body`, charging lock
+  // acquisition (with retries), the body's verbs, and the release.
+  void WithShardLock(uint64_t hash, const std::function<void()>& body);
+
+  // List maintenance verbs under the lock: READ node + 2 WRITE splices.
+  void ChargeListSplice();
+
+  dm::MemoryPool* pool_;
+  ShardLruDirectory* dir_;
+  rdma::ClientContext* ctx_;
+  rdma::Verbs verbs_;
+  ht::HashTable table_;
+  dm::RemoteAllocator alloc_;
+  sim::ClientCounters counters_;
+  uint64_t lock_retries_ = 0;
+  std::vector<uint8_t> object_buf_;
+  std::vector<ht::SlotView> bucket_buf_;
+  std::vector<uint8_t> encode_buf_;
+};
+
+}  // namespace ditto::baselines
+
+#endif  // DITTO_BASELINES_SHARD_LRU_H_

@@ -1,0 +1,10 @@
+#include "common/clock.h"
+
+namespace ditto {
+
+LogicalClock& LogicalClock::Global() {
+  static LogicalClock clock;
+  return clock;
+}
+
+}  // namespace ditto

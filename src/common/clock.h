@@ -1,0 +1,46 @@
+// Time sources for the simulated disaggregated-memory substrate.
+//
+// LogicalClock: a global atomic tick used as the timestamp domain for cache
+// metadata (insert_ts / last_ts). Deterministic across runs.
+//
+// VirtualClock: per-client accumulated busy time in nanoseconds. One-sided
+// verbs, lock backoffs and miss penalties charge latency here; experiment
+// elapsed time is derived from these accounts plus the NIC / MN-CPU serial
+// components (see rdma::NicModel, rdma::CpuModel).
+#ifndef DITTO_COMMON_CLOCK_H_
+#define DITTO_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace ditto {
+
+class LogicalClock {
+ public:
+  // Returns a strictly increasing tick.
+  uint64_t Tick() { return now_.fetch_add(1, std::memory_order_relaxed) + 1; }
+  uint64_t Now() const { return now_.load(std::memory_order_relaxed); }
+  void Reset() { now_.store(0, std::memory_order_relaxed); }
+
+  // Global instance shared by all clients of a process-wide simulation.
+  static LogicalClock& Global();
+
+ private:
+  std::atomic<uint64_t> now_{0};
+};
+
+class VirtualClock {
+ public:
+  void AdvanceNs(uint64_t ns) { busy_ns_ += ns; }
+  void AdvanceUs(double us) { busy_ns_ += static_cast<uint64_t>(us * 1000.0); }
+  uint64_t busy_ns() const { return busy_ns_; }
+  double busy_us() const { return static_cast<double>(busy_ns_) / 1000.0; }
+  void Reset() { busy_ns_ = 0; }
+
+ private:
+  uint64_t busy_ns_ = 0;
+};
+
+}  // namespace ditto
+
+#endif  // DITTO_COMMON_CLOCK_H_

@@ -1,0 +1,51 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ditto {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg);
+      std::exit(2);
+    }
+    std::string body = arg + 2;
+    const size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "true";
+    }
+  }
+}
+
+std::string Flags::GetString(const std::string& name, const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    return def;
+  }
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace ditto

@@ -1,0 +1,29 @@
+// Minimal command-line flag parsing for bench and example binaries.
+// Syntax: --name=value or --name value. Unknown flags abort with a message.
+#ifndef DITTO_COMMON_FLAGS_H_
+#define DITTO_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ditto {
+
+class Flags {
+ public:
+  // Parses argv. Aborts (exit 2) on malformed input.
+  Flags(int argc, char** argv);
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+  std::string GetString(const std::string& name, const std::string& def) const;
+  int64_t GetInt(const std::string& name, int64_t def) const;
+  double GetDouble(const std::string& name, double def) const;
+  bool GetBool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace ditto
+
+#endif  // DITTO_COMMON_FLAGS_H_

@@ -1,0 +1,82 @@
+#include "common/histogram.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ditto {
+
+int Histogram::BucketFor(uint64_t ns) {
+  if (ns == 0) {
+    return 0;
+  }
+  const double log = std::log10(static_cast<double>(ns));
+  int bucket = static_cast<int>(log * kBucketsPerDecade);
+  if (bucket < 0) {
+    bucket = 0;
+  }
+  if (bucket >= kNumBuckets) {
+    bucket = kNumBuckets - 1;
+  }
+  return bucket;
+}
+
+double Histogram::BucketUpperNs(int bucket) {
+  return std::pow(10.0, static_cast<double>(bucket + 1) / kBucketsPerDecade);
+}
+
+void Histogram::RecordNs(uint64_t ns) {
+  buckets_[BucketFor(ns)]++;
+  count_++;
+  sum_ns_ += ns;
+  if (ns > max_ns_) {
+    max_ns_ = ns;
+  }
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+  if (other.max_ns_ > max_ns_) {
+    max_ns_ = other.max_ns_;
+  }
+}
+
+void Histogram::Reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ns_ = 0;
+  max_ns_ = 0;
+}
+
+double Histogram::MeanNs() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_ns_) / static_cast<double>(count_);
+}
+
+double Histogram::PercentileNs(double p) const {
+  if (count_ == 0) {
+    return 0.0;
+  }
+  const auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i];
+    if (seen > target) {
+      return BucketUpperNs(i);
+    }
+  }
+  return static_cast<double>(max_ns_);
+}
+
+std::string Histogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "n=%llu mean=%.1fus p50=%.1fus p99=%.1fus max=%.1fus",
+                static_cast<unsigned long long>(count_), MeanNs() / 1000.0,
+                PercentileNs(50) / 1000.0, PercentileNs(99) / 1000.0,
+                static_cast<double>(max_ns_) / 1000.0);
+  return buf;
+}
+
+}  // namespace ditto

@@ -1,0 +1,130 @@
+#include "core/adaptive.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace ditto::core {
+namespace {
+
+void Normalize(std::vector<double>& w) {
+  double sum = 0.0;
+  for (const double x : w) {
+    sum += x;
+  }
+  if (sum <= 0.0) {
+    for (double& x : w) {
+      x = 1.0 / static_cast<double>(w.size());
+    }
+    return;
+  }
+  for (double& x : w) {
+    x /= sum;
+    // Keep every expert revivable: floor the weight (LeCaR does the same).
+    if (x < 1e-3) {
+      x = 1e-3;
+    }
+  }
+}
+
+std::string EncodeDoubles(const std::vector<double>& values) {
+  std::string out(values.size() * 8, '\0');
+  std::memcpy(out.data(), values.data(), out.size());
+  return out;
+}
+
+std::vector<double> DecodeDoubles(std::string_view in) {
+  std::vector<double> out(in.size() / 8);
+  std::memcpy(out.data(), in.data(), out.size() * 8);
+  return out;
+}
+
+}  // namespace
+
+AdaptiveController::AdaptiveController(dm::MemoryPool* pool, int num_experts)
+    : weights_(num_experts, 1.0 / static_cast<double>(num_experts)) {
+  pool->RegisterRpc(dm::kRpcUpdateWeights,
+                    [this](std::string_view request) { return HandleUpdate(request); });
+}
+
+std::string AdaptiveController::HandleUpdate(std::string_view request) {
+  const std::vector<double> penalties = DecodeDoubles(request);
+  std::lock_guard<std::mutex> lock(mu_);
+  updates_++;
+  for (size_t i = 0; i < weights_.size() && i < penalties.size(); ++i) {
+    // Penalties arrive pre-summed (the compression described in §4.3.2).
+    weights_[i] *= std::exp(-penalties[i]);
+  }
+  Normalize(weights_);
+  return EncodeDoubles(weights_);
+}
+
+std::vector<double> AdaptiveController::weights() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return weights_;
+}
+
+AdaptiveState::AdaptiveState(const AdaptiveConfig& config, rdma::Verbs* verbs)
+    : config_(config),
+      verbs_(verbs),
+      weights_(config.num_experts, 1.0 / static_cast<double>(config.num_experts)),
+      pending_penalties_(config.num_experts, 0.0) {
+  assert(config_.cache_size_objects > 0);
+  log_discount_ =
+      std::log(config_.discount_base) / static_cast<double>(config_.cache_size_objects);
+}
+
+int AdaptiveState::ChooseExpert(Rng& rng) const {
+  double sum = 0.0;
+  for (const double w : weights_) {
+    sum += w;
+  }
+  double pick = rng.NextDouble() * sum;
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    pick -= weights_[i];
+    if (pick <= 0.0) {
+      return static_cast<int>(i);
+    }
+  }
+  return static_cast<int>(weights_.size()) - 1;
+}
+
+double AdaptiveState::DiscountedPenalty(uint64_t age) const {
+  // d^age with d = base^(1/N): older regrets are penalized less.
+  return std::exp(log_discount_ * static_cast<double>(age));
+}
+
+void AdaptiveState::ApplyLocally(uint64_t bmap, double penalty) {
+  for (int i = 0; i < config_.num_experts; ++i) {
+    if ((bmap >> i) & 1) {
+      weights_[i] *= std::exp(-config_.learning_rate * penalty);
+      pending_penalties_[i] += config_.learning_rate * penalty;
+    }
+  }
+  Normalize(weights_);
+}
+
+void AdaptiveState::OnRegret(uint64_t bmap, uint64_t age) {
+  ApplyLocally(bmap, DiscountedPenalty(age));
+  pending_count_++;
+  const int batch = config_.lazy ? config_.penalty_batch : 1;
+  if (pending_count_ >= batch) {
+    Flush();
+  }
+}
+
+void AdaptiveState::Flush() {
+  if (pending_count_ == 0) {
+    return;
+  }
+  const std::string response = verbs_->Rpc(dm::kRpcUpdateWeights, EncodeDoubles(pending_penalties_));
+  std::vector<double> global = DecodeDoubles(response);
+  if (static_cast<int>(global.size()) == config_.num_experts) {
+    weights_ = std::move(global);
+  }
+  std::fill(pending_penalties_.begin(), pending_penalties_.end(), 0.0);
+  pending_count_ = 0;
+  flushes_++;
+}
+
+}  // namespace ditto::core

@@ -1,0 +1,560 @@
+#include "core/ditto_client.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/hash.h"
+
+namespace ditto::core {
+namespace {
+
+constexpr uint64_t kMask48 = (uint64_t{1} << 48) - 1;
+constexpr uint64_t kMinusOne = ~uint64_t{0};
+// Scratch area in the superblock used to emulate the verb traffic of a
+// non-embedded history (ablation mode, see ChargeExternalHistory*).
+constexpr uint64_t kExternalHistScratch = 512;
+
+}  // namespace
+
+DittoClient::DittoClient(dm::MemoryPool* pool, rdma::ClientContext* ctx,
+                         const DittoConfig& config)
+    : pool_(pool),
+      ctx_(ctx),
+      config_(config),
+      verbs_(&pool->node(), ctx),
+      table_(pool, &verbs_),
+      alloc_(pool, &verbs_) {
+  assert(!config_.experts.empty());
+  for (const std::string& name : config_.experts) {
+    auto policy = policy::MakePolicy(name);
+    assert(policy != nullptr && "unknown caching algorithm");
+    total_ext_words_ += policy->extension_words();
+    experts_.push_back(std::move(policy));
+  }
+  assert(total_ext_words_ <= policy::Metadata::kMaxExtensionWords);
+
+  AdaptiveConfig acfg;
+  acfg.num_experts = static_cast<int>(experts_.size());
+  acfg.learning_rate = config_.learning_rate;
+  acfg.discount_base = config_.discount_base;
+  acfg.cache_size_objects = std::max<uint64_t>(1, pool->capacity_objects());
+  acfg.penalty_batch = config_.penalty_batch;
+  acfg.lazy = config_.enable_lazy_weights;
+  adaptive_ = std::make_unique<AdaptiveState>(acfg, &verbs_);
+
+  fc_ = std::make_unique<FcCache>(&table_, config_.fc_threshold, config_.fc_capacity_bytes,
+                                  config_.enable_fc_cache, config_.fc_max_age_accesses);
+}
+
+DittoClient::SuperblockView DittoClient::ReadSuperblock() {
+  uint64_t raw[4];
+  verbs_.Read(dm::kHistCounterAddr, raw, sizeof(raw));
+  return SuperblockView{raw[0], raw[1], raw[2], raw[3]};
+}
+
+uint64_t DittoClient::NowTick() { return pool_->clock().Tick(); }
+
+policy::Metadata DittoClient::MetadataFor(const ht::SlotView& slot, const uint64_t* ext) const {
+  policy::Metadata meta;
+  meta.hash = slot.hash;
+  meta.insert_ts = slot.insert_ts;
+  meta.last_ts = slot.last_ts;
+  meta.freq = slot.freq;
+  meta.size_bytes = static_cast<uint32_t>(slot.size_blocks()) * dm::kBlockBytes;
+  meta.now = pool_->clock().Now();
+  if (ext != nullptr) {
+    std::copy(ext, ext + policy::Metadata::kMaxExtensionWords, meta.ext);
+  }
+  return meta;
+}
+
+void DittoClient::TouchObject(uint64_t slot_addr, const ht::SlotView& slot,
+                              const DecodedObject* obj, uint64_t obj_addr) {
+  const uint64_t now = NowTick();
+  // Stateless metadata: one combined async WRITE (the SFHT grouping).
+  table_.WriteLastTsAsync(slot_addr, now);
+  if (!config_.enable_sfht) {
+    // Without the sample-friendly layout the stateless fields are scattered:
+    // model the extra ungrouped metadata WRITE on the data path.
+    verbs_.WriteAsync(slot_addr + ht::kInsertTsOff, &slot.insert_ts, 8);
+  }
+  // Stateful frequency counter via the FC cache.
+  fc_->RecordAccess(slot_addr, 16);
+
+  // Algorithm-specific extension metadata, persisted with the object.
+  if (total_ext_words_ > 0 && obj != nullptr && obj->header.ext_words > 0) {
+    policy::Metadata meta = MetadataFor(slot, obj->ext);
+    meta.freq++;  // the access being recorded
+    meta.last_ts = now;
+    meta.now = now;
+    int base = 0;
+    uint64_t updated[policy::Metadata::kMaxExtensionWords];
+    std::copy(meta.ext, meta.ext + policy::Metadata::kMaxExtensionWords, updated);
+    for (const auto& expert : experts_) {
+      const int words = expert->extension_words();
+      if (words == 0) {
+        continue;
+      }
+      policy::Metadata view = meta;
+      std::copy(updated + base, updated + base + words, view.ext);
+      expert->Update(view);
+      std::copy(view.ext, view.ext + words, updated + base);
+      base += words;
+    }
+    verbs_.WriteAsync(obj_addr + kExtWordsOff, updated,
+                      static_cast<size_t>(obj->header.ext_words) * 8);
+  }
+}
+
+bool DittoClient::Get(std::string_view key, std::string* value) {
+  stats_.gets++;
+  const uint64_t hash = HashKey(key);
+  const uint8_t fp = Fingerprint(hash);
+  const uint64_t bucket = table_.BucketIndexFor(hash);
+
+  table_.ReadBucket(bucket, &bucket_buf_);
+  for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+    const ht::SlotView& slot = bucket_buf_[i];
+    if (!slot.IsObject() || slot.fp() != fp || slot.hash != hash) {
+      continue;
+    }
+    const uint64_t obj_addr = slot.pointer();
+    const size_t obj_bytes = static_cast<size_t>(slot.size_blocks()) * dm::kBlockBytes;
+    object_buf_.resize(obj_bytes);
+    verbs_.Read(obj_addr, object_buf_.data(), obj_bytes);
+    DecodedObject obj;
+    if (!DecodeObject(object_buf_.data(), obj_bytes, &obj) || obj.key != key) {
+      continue;  // fingerprint + hash collision with a different key
+    }
+    if (value != nullptr) {
+      value->assign(obj.value);
+    }
+    TouchObject(table_.BucketSlotAddr(bucket, i), slot, &obj, obj_addr);
+    stats_.hits++;
+    return true;
+  }
+
+  stats_.misses++;
+  // Regret collection: a missed key whose history entry is still within the
+  // logical FIFO window penalizes the experts that evicted it.
+  if (config_.adaptive()) {
+    if (!config_.enable_history) {
+      // A non-embedded history must be probed on every miss; the embedded
+      // design collects regrets for free during the bucket scan.
+      ChargeExternalHistoryLookup();
+    }
+    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+      const ht::SlotView& slot = bucket_buf_[i];
+      if (!slot.IsHistory() || slot.hash != hash) {
+        continue;
+      }
+      const SuperblockView super = ReadSuperblock();
+      const uint64_t age = (super.hist_counter - slot.history_id()) & kMask48;
+      if (age <= super.hist_size) {
+        adaptive_->OnRegret(slot.expert_bmap(), age);
+        stats_.regrets++;
+      }
+      break;
+    }
+  }
+  return false;
+}
+
+bool DittoClient::EvictOne() {
+  const size_t num_slots = table_.num_slots();
+  const int k = config_.num_samples;
+
+  struct Candidate {
+    ht::SlotView slot;
+    uint64_t slot_addr;
+    policy::Metadata meta;
+  };
+  std::vector<Candidate> cands;
+  cands.reserve(k);
+
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    // Accumulate sampled objects until we hold k candidates. With a densely
+    // loaded table one READ suffices (the paper's fast path); sparse tables
+    // keep sampling so eviction quality does not degrade to random.
+    cands.clear();
+    int reads = 0;
+    while (static_cast<int>(cands.size()) < k && reads < 64) {
+      const uint64_t start = ctx_->rng().NextBelow(num_slots - static_cast<uint64_t>(k));
+      table_.ReadSlots(start, k, &sample_buf_);
+      reads++;
+      for (int i = 0; i < k && static_cast<int>(cands.size()) < k; ++i) {
+        // Skip non-objects and slots whose metadata is not yet initialized
+        // (an insert publishes the atomic word first, then writes metadata;
+        // a zero last_ts means the object is seconds old, not ancient).
+        if (!sample_buf_[i].IsObject() || sample_buf_[i].last_ts == 0) {
+          continue;
+        }
+        const uint64_t slot_addr = table_.SlotAddr(
+            std::min(start, num_slots - static_cast<uint64_t>(k)) + i);
+        bool duplicate = false;
+        for (const Candidate& c : cands) {
+          if (c.slot_addr == slot_addr) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) {
+          continue;
+        }
+        Candidate c;
+        c.slot = sample_buf_[i];
+        c.slot_addr = slot_addr;
+        c.meta = MetadataFor(sample_buf_[i], nullptr);
+        c.meta.freq += fc_->PendingDelta(slot_addr);
+        cands.push_back(c);
+      }
+    }
+    if (cands.empty()) {
+      continue;
+    }
+    if (!config_.enable_sfht) {
+      // Without the co-designed table, each sampled object's metadata lives
+      // with the object: one extra READ per sampled candidate.
+      for (const Candidate& c : cands) {
+        uint64_t scratch;
+        verbs_.Read(c.slot.pointer(), &scratch, 8);
+      }
+    }
+    if (total_ext_words_ > 0) {
+      // Fetch extension words from each sampled object (paper §4.4).
+      for (Candidate& c : cands) {
+        verbs_.Read(c.slot.pointer() + kExtWordsOff, c.meta.ext,
+                    static_cast<size_t>(total_ext_words_) * 8);
+      }
+    }
+
+    // Each expert nominates its lowest-priority candidate.
+    const int num_experts = static_cast<int>(experts_.size());
+    std::vector<int> nominee(num_experts, 0);
+    for (int e = 0; e < num_experts; ++e) {
+      int ext_base = 0;
+      for (int j = 0; j < e; ++j) {
+        ext_base += experts_[j]->extension_words();
+      }
+      double best = 0.0;
+      for (size_t c = 0; c < cands.size(); ++c) {
+        policy::Metadata view = cands[c].meta;
+        if (experts_[e]->extension_words() > 0) {
+          std::copy(cands[c].meta.ext + ext_base,
+                    cands[c].meta.ext + ext_base + experts_[e]->extension_words(), view.ext);
+        }
+        const double priority = experts_[e]->Priority(view);
+        if (c == 0 || priority < best) {
+          best = priority;
+          nominee[e] = static_cast<int>(c);
+        }
+      }
+    }
+
+    const int chosen = config_.adaptive() ? adaptive_->ChooseExpert(ctx_->rng()) : 0;
+    const int victim_cand = nominee[chosen];
+    const ht::SlotView& victim = cands[victim_cand].slot;
+    const uint64_t victim_addr = cands[victim_cand].slot_addr;
+
+    uint64_t desired = 0;
+    uint64_t bmap = 0;
+    if (config_.adaptive() && config_.enable_history) {
+      const uint64_t hist_id = verbs_.FetchAdd(dm::kHistCounterAddr, 1) & kMask48;
+      desired = ht::PackAtomic(victim.fp(), ht::kHistorySizeTag, hist_id);
+      for (int e = 0; e < num_experts; ++e) {
+        if (nominee[e] == victim_cand) {
+          bmap |= uint64_t{1} << e;
+        }
+      }
+    }
+    if (!table_.CasAtomic(victim_addr, victim.atomic_word, desired)) {
+      continue;  // lost a race; resample
+    }
+    if (config_.adaptive() && config_.enable_history) {
+      table_.WriteExpertBmapAsync(victim_addr, bmap);
+    } else if (config_.adaptive()) {
+      ChargeExternalHistoryInsert();
+    }
+    experts_[chosen]->OnEvict(cands[victim_cand].meta);
+    alloc_.FreeBlocks(victim.pointer(), victim.size_blocks());
+    verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+    stats_.evictions++;
+    return true;
+  }
+  return false;
+}
+
+bool DittoClient::ClaimSlotAndPublish(uint64_t bucket, uint64_t hash, uint8_t fp,
+                                      uint64_t obj_addr, int blocks, uint64_t now) {
+  const uint64_t desired = ht::PackAtomic(fp, static_cast<uint8_t>(blocks), obj_addr);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    table_.ReadBucket(bucket, &bucket_buf_);
+
+    int target = -1;
+    uint64_t expected = 0;
+    bool target_is_object = false;
+    bool target_is_duplicate = false;
+
+    // A concurrent client may have inserted the same key since our lookup:
+    // replace it in place instead of creating a duplicate (duplicates would
+    // silently waste capacity and depress hit rates).
+    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+      if (bucket_buf_[i].IsObject() && bucket_buf_[i].fp() == fp &&
+          bucket_buf_[i].hash == hash) {
+        target = i;
+        expected = bucket_buf_[i].atomic_word;
+        target_is_object = true;
+        target_is_duplicate = true;
+        break;
+      }
+    }
+    // Preference order: empty slot; our own history entry; expired history;
+    // oldest history; finally evict the lowest-priority object in the bucket.
+    if (target < 0) {
+      for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+        if (bucket_buf_[i].IsEmpty()) {
+          target = i;
+          expected = 0;
+          break;
+        }
+      }
+    }
+    if (target < 0) {
+      for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+        if (bucket_buf_[i].IsHistory() && bucket_buf_[i].hash == hash) {
+          target = i;
+          expected = bucket_buf_[i].atomic_word;
+          break;
+        }
+      }
+    }
+    if (target < 0) {
+      // Expired or oldest history entry.
+      bool have_history = false;
+      uint64_t oldest_id = 0;
+      int oldest = -1;
+      for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+        if (!bucket_buf_[i].IsHistory()) {
+          continue;
+        }
+        const uint64_t id = bucket_buf_[i].history_id();
+        if (!have_history || ((oldest_id - id) & kMask48) < (uint64_t{1} << 47)) {
+          // id is older than oldest_id (mod 2^48) or first seen.
+          oldest_id = id;
+          oldest = i;
+          have_history = true;
+        }
+      }
+      if (have_history) {
+        target = oldest;
+        expected = bucket_buf_[target].atomic_word;
+      }
+    }
+    if (target < 0) {
+      // Bucket is full of live objects: evict the lowest-priority one in
+      // place (its slot is reused directly; no history entry is recorded for
+      // bucket-pressure evictions).
+      const int chosen = config_.adaptive() ? adaptive_->ChooseExpert(ctx_->rng()) : 0;
+      double best = 0.0;
+      for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+        if (!bucket_buf_[i].IsObject()) {
+          continue;
+        }
+        policy::Metadata meta = MetadataFor(bucket_buf_[i], nullptr);
+        meta.freq += fc_->PendingDelta(table_.BucketSlotAddr(bucket, i));
+        const double priority = experts_[chosen]->Priority(meta);
+        if (target < 0 || priority < best) {
+          best = priority;
+          target = i;
+        }
+      }
+      if (target < 0) {
+        continue;  // raced into an inconsistent view; retry
+      }
+      expected = bucket_buf_[target].atomic_word;
+      target_is_object = true;
+    }
+
+    const uint64_t slot_addr = table_.BucketSlotAddr(bucket, target);
+    if (!table_.CasAtomic(slot_addr, expected, desired)) {
+      stats_.set_retries++;
+      continue;
+    }
+    if (target_is_object) {
+      const ht::SlotView& victim = bucket_buf_[target];
+      alloc_.FreeBlocks(victim.pointer(), victim.size_blocks());
+      // Replacing a duplicate of our own key cancels the insert's count
+      // increment; evicting an unrelated object is a real eviction.
+      verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+      if (!target_is_duplicate) {
+        stats_.evictions++;
+      }
+    }
+    table_.WriteAllMetadata(slot_addr, hash, now, now, 1);
+    if (!config_.enable_sfht) {
+      verbs_.WriteAsync(slot_addr + ht::kFreqOff, &now, 8);  // ungrouped metadata init
+    }
+    return true;
+  }
+  return false;
+}
+
+void DittoClient::Set(std::string_view key, std::string_view value) {
+  stats_.sets++;
+  const uint64_t hash = HashKey(key);
+  const uint8_t fp = Fingerprint(hash);
+  const uint64_t bucket = table_.BucketIndexFor(hash);
+  const uint64_t now = NowTick();
+
+  // Update path: the key is already cached.
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    table_.ReadBucket(bucket, &bucket_buf_);
+    int found = -1;
+    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+      const ht::SlotView& slot = bucket_buf_[i];
+      if (slot.IsObject() && slot.fp() == fp && slot.hash == hash) {
+        found = i;
+        break;
+      }
+    }
+    if (found < 0) {
+      break;
+    }
+    const ht::SlotView& slot = bucket_buf_[found];
+    uint64_t ext[policy::Metadata::kMaxExtensionWords] = {0, 0, 0, 0};
+    if (total_ext_words_ > 0) {
+      verbs_.Read(slot.pointer() + kExtWordsOff, ext, static_cast<size_t>(total_ext_words_) * 8);
+    }
+    const int blocks = ObjectBlocks(key.size(), value.size(), total_ext_words_);
+    uint64_t addr = alloc_.AllocBlocks(blocks);
+    for (int i = 0; addr == 0 && i < 128; ++i) {
+      if (!EvictOne()) {
+        break;
+      }
+      addr = alloc_.AllocBlocks(blocks);
+    }
+    if (addr == 0) {
+      return;  // pool exhausted beyond recovery; drop the Set
+    }
+    EncodeObject(key, value, ext, total_ext_words_, &encode_buf_);
+    verbs_.Write(addr, encode_buf_.data(), encode_buf_.size());
+    const uint64_t desired = ht::PackAtomic(fp, static_cast<uint8_t>(blocks), addr);
+    if (table_.CasAtomic(table_.BucketSlotAddr(bucket, found), slot.atomic_word, desired)) {
+      alloc_.FreeBlocks(slot.pointer(), slot.size_blocks());
+      ht::SlotView updated = slot;
+      updated.atomic_word = desired;
+      object_buf_.assign(encode_buf_.begin(), encode_buf_.end());
+      DecodedObject obj;
+      DecodeObject(object_buf_.data(), object_buf_.size(), &obj);
+      TouchObject(table_.BucketSlotAddr(bucket, found), updated, &obj, addr);
+      return;
+    }
+    alloc_.FreeBlocks(addr, blocks);
+    stats_.set_retries++;
+  }
+
+  // Insert path.
+  const SuperblockView super = ReadSuperblock();
+  const uint64_t prior = verbs_.FetchAdd(dm::kObjectCountAddr, 1);
+  if (prior + 1 > super.capacity) {
+    uint64_t over = prior + 1 - super.capacity;
+    over = std::min<uint64_t>(over, 8);
+    for (uint64_t i = 0; i < over; ++i) {
+      if (!EvictOne()) {
+        break;
+      }
+    }
+  }
+
+  uint64_t ext[policy::Metadata::kMaxExtensionWords] = {0, 0, 0, 0};
+  if (total_ext_words_ > 0) {
+    policy::Metadata meta;
+    meta.hash = hash;
+    meta.insert_ts = now;
+    meta.last_ts = now;
+    meta.freq = 1;
+    meta.size_bytes = static_cast<uint32_t>(ObjectBytes(key.size(), value.size(),
+                                                        total_ext_words_));
+    meta.now = now;
+    int base = 0;
+    for (const auto& expert : experts_) {
+      const int words = expert->extension_words();
+      if (words == 0) {
+        continue;
+      }
+      policy::Metadata view = meta;
+      expert->OnInsert(view);
+      expert->Update(view);
+      std::copy(view.ext, view.ext + words, ext + base);
+      base += words;
+    }
+  }
+
+  const int blocks = ObjectBlocks(key.size(), value.size(), total_ext_words_);
+  uint64_t addr = alloc_.AllocBlocks(blocks);
+  for (int i = 0; addr == 0 && i < 128; ++i) {
+    if (!EvictOne()) {
+      break;
+    }
+    addr = alloc_.AllocBlocks(blocks);
+  }
+  if (addr == 0) {
+    verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+    return;  // drop: memory exhausted and nothing evictable
+  }
+  EncodeObject(key, value, ext, total_ext_words_, &encode_buf_);
+  verbs_.Write(addr, encode_buf_.data(), encode_buf_.size());
+
+  if (!ClaimSlotAndPublish(bucket, hash, fp, addr, blocks, now)) {
+    alloc_.FreeBlocks(addr, blocks);
+    verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+  }
+}
+
+bool DittoClient::Delete(std::string_view key) {
+  const uint64_t hash = HashKey(key);
+  const uint8_t fp = Fingerprint(hash);
+  const uint64_t bucket = table_.BucketIndexFor(hash);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    table_.ReadBucket(bucket, &bucket_buf_);
+    int found = -1;
+    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+      const ht::SlotView& slot = bucket_buf_[i];
+      if (slot.IsObject() && slot.fp() == fp && slot.hash == hash) {
+        found = i;
+        break;
+      }
+    }
+    if (found < 0) {
+      return false;
+    }
+    const ht::SlotView& slot = bucket_buf_[found];
+    if (table_.CasAtomic(table_.BucketSlotAddr(bucket, found), slot.atomic_word, 0)) {
+      alloc_.FreeBlocks(slot.pointer(), slot.size_blocks());
+      verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+      return true;
+    }
+  }
+  return false;
+}
+
+void DittoClient::FlushBuffers() {
+  fc_->FlushAll();
+  adaptive_->Flush();
+}
+
+void DittoClient::ChargeExternalHistoryInsert() {
+  // A non-embedded history appends to a remote FIFO queue: FAA on the queue
+  // tail plus a WRITE of the 40-byte entry.
+  verbs_.FetchAdd(kExternalHistScratch, 0);
+  uint8_t entry[40] = {0};
+  verbs_.WriteAsync(kExternalHistScratch + 8, entry, sizeof(entry));
+}
+
+void DittoClient::ChargeExternalHistoryLookup() {
+  // A non-embedded history needs its own index probe on every miss.
+  uint8_t entry[40];
+  verbs_.Read(kExternalHistScratch + 8, entry, sizeof(entry));
+}
+
+}  // namespace ditto::core

@@ -1,0 +1,86 @@
+#include "core/fc_cache.h"
+
+namespace ditto::core {
+namespace {
+// Fixed per-entry bookkeeping bytes: slot address + delta + insert time.
+constexpr size_t kEntryOverheadBytes = 24;
+}  // namespace
+
+void FcCache::RecordAccess(uint64_t slot_addr, size_t object_id_bytes) {
+  if (!enabled_) {
+    table_->AddFreqAsync(slot_addr, 1);
+    flushes_++;
+    return;
+  }
+  auto [it, inserted] = entries_.try_emplace(slot_addr);
+  Entry& entry = it->second;
+  if (inserted) {
+    entry.insert_seq = seq_++;
+    entry.bytes = object_id_bytes + kEntryOverheadBytes;
+    bytes_used_ += entry.bytes;
+    fifo_.push_back(slot_addr);
+  }
+  entry.delta++;
+  if (entry.delta >= static_cast<uint64_t>(threshold_)) {
+    FlushEntry(slot_addr);
+  } else {
+    while (bytes_used_ > capacity_bytes_ && !entries_.empty()) {
+      EvictOldest();
+    }
+  }
+  FlushAged();
+}
+
+void FcCache::FlushAged() {
+  if (max_age_accesses_ == 0) {
+    return;
+  }
+  // Amortized O(1): drain stale FIFO heads whose entries have lagged behind
+  // the remote counter for too long.
+  while (!fifo_.empty()) {
+    const uint64_t addr = fifo_.front();
+    const auto it = entries_.find(addr);
+    if (it == entries_.end()) {
+      fifo_.pop_front();  // stale FIFO record of an already-flushed entry
+      continue;
+    }
+    if (seq_ - it->second.insert_seq < max_age_accesses_) {
+      break;
+    }
+    fifo_.pop_front();
+    FlushEntry(addr);
+  }
+}
+
+void FcCache::FlushEntry(uint64_t slot_addr) {
+  const auto it = entries_.find(slot_addr);
+  if (it == entries_.end()) {
+    return;
+  }
+  if (it->second.delta > 0) {
+    table_->AddFreqAsync(slot_addr, it->second.delta);
+    flushes_++;
+  }
+  bytes_used_ -= it->second.bytes;
+  entries_.erase(it);
+}
+
+void FcCache::EvictOldest() {
+  while (!fifo_.empty()) {
+    const uint64_t addr = fifo_.front();
+    fifo_.pop_front();
+    if (entries_.count(addr) > 0) {
+      FlushEntry(addr);
+      return;
+    }
+  }
+}
+
+void FcCache::FlushAll() {
+  while (!entries_.empty()) {
+    FlushEntry(entries_.begin()->first);
+  }
+  fifo_.clear();
+}
+
+}  // namespace ditto::core

@@ -1,0 +1,73 @@
+// Frequency-counter cache (paper §4.2.2): a client-side write-combining
+// buffer that absorbs increments to the remote `freq` counters and flushes
+// them as one RDMA_FAA when either (a) an entry's buffered delta reaches the
+// threshold t, or (b) the cache is at capacity, in which case the entry with
+// the earliest insert time is flushed.
+#ifndef DITTO_CORE_FC_CACHE_H_
+#define DITTO_CORE_FC_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "hashtable/hash_table.h"
+
+namespace ditto::core {
+
+class FcCache {
+ public:
+  // enabled=false degrades to one async FAA per access (the ablation mode).
+  // max_age_accesses bounds how long a buffered delta may lag behind the
+  // remote counter (the paper tracks entry insert times for this purpose);
+  // 0 disables age-based flushing.
+  FcCache(ht::HashTable* table, int threshold, size_t capacity_bytes, bool enabled,
+          uint64_t max_age_accesses = 512)
+      : table_(table), threshold_(threshold), capacity_bytes_(capacity_bytes),
+        enabled_(enabled), max_age_accesses_(max_age_accesses) {}
+
+  // Records one access to the object indexed by slot_addr. object_id_bytes
+  // sizes the entry (the entry stores the object id, paper Figure text).
+  void RecordAccess(uint64_t slot_addr, size_t object_id_bytes);
+
+  // Flushes every buffered delta (used at the end of runs and by tests).
+  void FlushAll();
+
+  // The delta buffered for slot_addr but not yet applied remotely. Eviction
+  // priority evaluation adds this to the remote freq so the client's own
+  // buffered accesses are not invisible to its LFU-family experts.
+  uint64_t PendingDelta(uint64_t slot_addr) const {
+    const auto it = entries_.find(slot_addr);
+    return it == entries_.end() ? 0 : it->second.delta;
+  }
+
+  size_t entry_count() const { return entries_.size(); }
+  size_t bytes_used() const { return bytes_used_; }
+  uint64_t flushes() const { return flushes_; }
+
+ private:
+  struct Entry {
+    uint64_t delta = 0;
+    uint64_t insert_seq = 0;
+    size_t bytes = 0;
+  };
+
+  void FlushEntry(uint64_t slot_addr);
+  void EvictOldest();
+  void FlushAged();
+
+  ht::HashTable* table_;
+  int threshold_;
+  size_t capacity_bytes_;
+  bool enabled_;
+  uint64_t max_age_accesses_;
+
+  std::unordered_map<uint64_t, Entry> entries_;  // keyed by slot address
+  std::deque<uint64_t> fifo_;                    // insertion order (may hold stale addrs)
+  size_t bytes_used_ = 0;
+  uint64_t seq_ = 0;
+  uint64_t flushes_ = 0;
+};
+
+}  // namespace ditto::core
+
+#endif  // DITTO_CORE_FC_CACHE_H_

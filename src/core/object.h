@@ -1,0 +1,88 @@
+// Wire format of cached objects in the heap.
+//
+//   +0  ObjectHeader (8 B): key_len(2) | val_len(4) | ext_words(2)
+//   +8  extension metadata words (8 B each, paper §4.4 "metadata header")
+//   +8+8*ext  key bytes
+//   ...       value bytes
+//
+// Objects occupy contiguous runs of 64-byte blocks; the run length is what
+// the slot's 1-byte size field stores. The extension words live at a fixed
+// offset so eviction sampling can fetch them with one small READ.
+#ifndef DITTO_CORE_OBJECT_H_
+#define DITTO_CORE_OBJECT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dm/allocator.h"
+#include "policies/policy.h"
+
+namespace ditto::core {
+
+struct ObjectHeader {
+  uint32_t val_len;
+  uint16_t key_len;
+  uint16_t ext_words;
+};
+static_assert(sizeof(ObjectHeader) == 8);
+
+inline constexpr uint64_t kExtWordsOff = sizeof(ObjectHeader);
+
+inline size_t ObjectBytes(size_t key_len, size_t val_len, int ext_words) {
+  return sizeof(ObjectHeader) + static_cast<size_t>(ext_words) * 8 + key_len + val_len;
+}
+
+inline int ObjectBlocks(size_t key_len, size_t val_len, int ext_words) {
+  return dm::RemoteAllocator::BlocksForBytes(ObjectBytes(key_len, val_len, ext_words));
+}
+
+// Serializes an object into buf (resized to the padded block size).
+inline void EncodeObject(std::string_view key, std::string_view value,
+                         const uint64_t* ext, int ext_words, std::vector<uint8_t>* buf) {
+  const size_t bytes = ObjectBytes(key.size(), value.size(), ext_words);
+  buf->assign(((bytes + dm::kBlockBytes - 1) / dm::kBlockBytes) * dm::kBlockBytes, 0);
+  ObjectHeader header{static_cast<uint32_t>(value.size()), static_cast<uint16_t>(key.size()),
+                      static_cast<uint16_t>(ext_words)};
+  std::memcpy(buf->data(), &header, sizeof(header));
+  if (ext_words > 0) {
+    std::memcpy(buf->data() + kExtWordsOff, ext, static_cast<size_t>(ext_words) * 8);
+  }
+  std::memcpy(buf->data() + kExtWordsOff + static_cast<size_t>(ext_words) * 8, key.data(),
+              key.size());
+  std::memcpy(buf->data() + kExtWordsOff + static_cast<size_t>(ext_words) * 8 + key.size(),
+              value.data(), value.size());
+}
+
+// Parsed view into a raw object buffer. Pointers alias the buffer.
+struct DecodedObject {
+  ObjectHeader header;
+  const uint64_t* ext;
+  std::string_view key;
+  std::string_view value;
+};
+
+// Returns false if the buffer is too small / malformed.
+inline bool DecodeObject(const uint8_t* buf, size_t len, DecodedObject* out) {
+  if (len < sizeof(ObjectHeader)) {
+    return false;
+  }
+  std::memcpy(&out->header, buf, sizeof(ObjectHeader));
+  const size_t need = ObjectBytes(out->header.key_len, out->header.val_len,
+                                  out->header.ext_words);
+  if (need > len || out->header.ext_words > policy::Metadata::kMaxExtensionWords) {
+    return false;
+  }
+  out->ext = reinterpret_cast<const uint64_t*>(buf + kExtWordsOff);
+  const char* key_start =
+      reinterpret_cast<const char*>(buf + kExtWordsOff + size_t{out->header.ext_words} * 8);
+  out->key = std::string_view(key_start, out->header.key_len);
+  out->value = std::string_view(key_start + out->header.key_len, out->header.val_len);
+  return true;
+}
+
+}  // namespace ditto::core
+
+#endif  // DITTO_CORE_OBJECT_H_

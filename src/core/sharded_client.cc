@@ -1,0 +1,83 @@
+#include "core/sharded_client.h"
+
+#include "common/hash.h"
+
+namespace ditto::core {
+
+ShardedPool::ShardedPool(const dm::PoolConfig& per_node_config, int nodes) {
+  pools_.reserve(nodes);
+  for (int i = 0; i < nodes; ++i) {
+    pools_.push_back(std::make_unique<dm::MemoryPool>(per_node_config));
+  }
+}
+
+uint64_t ShardedPool::cached_objects() const {
+  uint64_t total = 0;
+  for (const auto& pool : pools_) {
+    total += pool->cached_objects();
+  }
+  return total;
+}
+
+void ShardedPool::SetCapacityObjectsPerNode(uint64_t capacity) {
+  for (const auto& pool : pools_) {
+    pool->SetCapacityObjects(capacity);
+  }
+}
+
+ShardedDittoServer::ShardedDittoServer(ShardedPool* pool, const DittoConfig& config) {
+  for (int i = 0; i < pool->num_nodes(); ++i) {
+    servers_.push_back(std::make_unique<DittoServer>(&pool->node(i), config));
+  }
+}
+
+ShardedDittoClient::ShardedDittoClient(ShardedPool* pool, rdma::ClientContext* ctx,
+                                       const DittoConfig& config)
+    : pool_(pool), ctx_(ctx) {
+  for (int i = 0; i < pool->num_nodes(); ++i) {
+    clients_.push_back(std::make_unique<DittoClient>(&pool->node(i), ctx, config));
+  }
+}
+
+DittoClient& ShardedDittoClient::Route(std::string_view key) {
+  return *clients_[pool_->NodeFor(HashKey(key))];
+}
+
+bool ShardedDittoClient::Get(std::string_view key, std::string* value) {
+  return Route(key).Get(key, value);
+}
+
+void ShardedDittoClient::Set(std::string_view key, std::string_view value) {
+  Route(key).Set(key, value);
+}
+
+bool ShardedDittoClient::Delete(std::string_view key) { return Route(key).Delete(key); }
+
+void ShardedDittoClient::FlushBuffers() {
+  for (const auto& client : clients_) {
+    client->FlushBuffers();
+  }
+}
+
+DittoStats ShardedDittoClient::stats() const {
+  DittoStats total;
+  for (const auto& client : clients_) {
+    const DittoStats& s = client->stats();
+    total.gets += s.gets;
+    total.sets += s.sets;
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.regrets += s.regrets;
+    total.set_retries += s.set_retries;
+  }
+  return total;
+}
+
+void ShardedDittoClient::ResetStats() {
+  for (const auto& client : clients_) {
+    client->mutable_stats() = DittoStats{};
+  }
+}
+
+}  // namespace ditto::core

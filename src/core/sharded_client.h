@@ -1,0 +1,78 @@
+// Multi-memory-node deployments (paper §5.1: "Ditto is compatible with
+// memory pools with multiple MNs as long as the memory pool offers the
+// required interfaces").
+//
+// ShardedPool owns N independent memory nodes; keys are routed to nodes by
+// hash. ShardedDittoClient fans a client thread out across per-node
+// DittoClients that share one ClientContext (one virtual clock per client
+// thread, one NIC/CPU model per memory node), so adding memory nodes scales
+// the pool's aggregate NIC message rate — the resource that bounds Ditto's
+// throughput on a single MN.
+#ifndef DITTO_CORE_SHARDED_CLIENT_H_
+#define DITTO_CORE_SHARDED_CLIENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/ditto_client.h"
+#include "dm/pool.h"
+
+namespace ditto::core {
+
+class ShardedPool {
+ public:
+  // Creates `nodes` memory nodes, each with the given per-node config.
+  // capacity_objects in the config is interpreted PER NODE.
+  ShardedPool(const dm::PoolConfig& per_node_config, int nodes);
+
+  int num_nodes() const { return static_cast<int>(pools_.size()); }
+  dm::MemoryPool& node(int i) { return *pools_[i]; }
+
+  // Which node a key hash routes to.
+  int NodeFor(uint64_t hash) const {
+    // Use high bits: the low bits already pick the bucket within a node.
+    return static_cast<int>((hash >> 48) % pools_.size());
+  }
+
+  uint64_t cached_objects() const;
+  void SetCapacityObjectsPerNode(uint64_t capacity);
+
+ private:
+  std::vector<std::unique_ptr<dm::MemoryPool>> pools_;
+};
+
+// Host-side server state for every node of a sharded pool.
+class ShardedDittoServer {
+ public:
+  ShardedDittoServer(ShardedPool* pool, const DittoConfig& config);
+
+ private:
+  std::vector<std::unique_ptr<DittoServer>> servers_;
+};
+
+class ShardedDittoClient {
+ public:
+  ShardedDittoClient(ShardedPool* pool, rdma::ClientContext* ctx, const DittoConfig& config);
+
+  bool Get(std::string_view key, std::string* value);
+  void Set(std::string_view key, std::string_view value);
+  bool Delete(std::string_view key);
+  void FlushBuffers();
+
+  // Aggregated statistics across the per-node clients.
+  DittoStats stats() const;
+  void ResetStats();
+  rdma::ClientContext& ctx() { return *ctx_; }
+  DittoClient& client_for_node(int i) { return *clients_[i]; }
+
+ private:
+  DittoClient& Route(std::string_view key);
+
+  ShardedPool* pool_;
+  rdma::ClientContext* ctx_;
+  std::vector<std::unique_ptr<DittoClient>> clients_;
+};
+
+}  // namespace ditto::core
+
+#endif  // DITTO_CORE_SHARDED_CLIENT_H_

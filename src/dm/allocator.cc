@@ -1,0 +1,143 @@
+#include "dm/allocator.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ditto::dm {
+namespace {
+
+// Freelist head encoding: low 48 bits = block address, high 16 bits = ABA tag.
+constexpr uint64_t kAddrMask = (uint64_t{1} << 48) - 1;
+
+uint64_t HeadAddr(uint64_t head) { return head & kAddrMask; }
+uint64_t HeadTag(uint64_t head) { return head >> 48; }
+uint64_t MakeHead(uint64_t addr, uint64_t tag) { return (tag << 48) | (addr & kAddrMask); }
+
+uint64_t FreeListAddrFor(int blocks) {
+  assert(blocks >= 1 && blocks <= kMaxRunBlocks);
+  return kFreeListBase + static_cast<uint64_t>(blocks - 1) * 8;
+}
+
+}  // namespace
+
+uint64_t RemoteAllocator::PopFreeList(int blocks) {
+  const uint64_t list_addr = FreeListAddrFor(blocks);
+  // Treiber pop: READ head, READ head->next, CAS head. Retries on contention.
+  while (true) {
+    uint64_t head;
+    verbs_->Read(list_addr, &head, 8);
+    if (HeadAddr(head) == 0) {
+      return 0;
+    }
+    uint64_t next;
+    verbs_->Read(HeadAddr(head), &next, 8);
+    const uint64_t desired = MakeHead(next, HeadTag(head) + 1);
+    if (verbs_->CompareSwap(list_addr, head, desired) == head) {
+      return HeadAddr(head);
+    }
+  }
+}
+
+uint64_t RemoteAllocator::AllocFromSegment(int blocks) {
+  const uint64_t want = static_cast<uint64_t>(blocks) * kBlockBytes;
+  if (segment_cursor_ + want > segment_end_) {
+    // Ask the controller for a fresh segment.
+    uint64_t seg_bytes = pool_->config().segment_bytes;
+    std::string request(8, '\0');
+    std::memcpy(request.data(), &seg_bytes, 8);
+    const std::string response = verbs_->Rpc(kRpcAllocSegment, request);
+    uint64_t granted = 0;
+    std::memcpy(&granted, response.data(), 8);
+    if (granted == 0) {
+      return 0;  // pool exhausted
+    }
+    segment_cursor_ = granted;
+    segment_end_ = granted + seg_bytes;
+  }
+  const uint64_t addr = segment_cursor_;
+  segment_cursor_ += want;
+  return addr;
+}
+
+uint64_t RemoteAllocator::AllocBlocks(int blocks) {
+  assert(blocks >= 1 && blocks <= kMaxRunBlocks);
+  // Client-local recycled runs first: zero network cost.
+  auto& cache = local_free_[blocks];
+  if (!cache.empty()) {
+    const uint64_t addr = cache.back();
+    cache.pop_back();
+    local_bytes_ -= static_cast<size_t>(blocks) * kBlockBytes;
+    return addr;
+  }
+  const uint64_t fresh = AllocFromSegment(blocks);
+  if (fresh != 0) {
+    return fresh;
+  }
+  const uint64_t recycled = PopFreeList(blocks);
+  if (recycled != 0) {
+    return recycled;
+  }
+  // Split a longer run: local cache first, then the remote freelists. The
+  // tail goes back to the local cache of its remaining length.
+  for (int longer = blocks + 1; longer <= kMaxRunBlocks; ++longer) {
+    uint64_t run = 0;
+    if (!local_free_[longer].empty()) {
+      run = local_free_[longer].back();
+      local_free_[longer].pop_back();
+      local_bytes_ -= static_cast<size_t>(longer) * kBlockBytes;
+    } else {
+      run = PopFreeList(longer);
+    }
+    if (run != 0) {
+      FreeBlocks(run + static_cast<uint64_t>(blocks) * kBlockBytes, longer - blocks);
+      return run;
+    }
+  }
+  return 0;
+}
+
+void RemoteAllocator::PushFreeList(uint64_t addr, int blocks) {
+  const uint64_t list_addr = FreeListAddrFor(blocks);
+  // Treiber push: link the run to the current head, then CAS the head.
+  while (true) {
+    uint64_t head;
+    verbs_->Read(list_addr, &head, 8);
+    const uint64_t next = HeadAddr(head);
+    verbs_->Write(addr, &next, 8);
+    const uint64_t desired = MakeHead(addr, HeadTag(head) + 1);
+    if (verbs_->CompareSwap(list_addr, head, desired) == head) {
+      return;
+    }
+  }
+}
+
+void RemoteAllocator::FreeBlocks(uint64_t addr, int blocks) {
+  assert(addr != 0);
+  const size_t bytes = static_cast<size_t>(blocks) * kBlockBytes;
+  if (local_bytes_ + bytes <= kLocalCacheBytes) {
+    local_free_[blocks].push_back(addr);
+    local_bytes_ += bytes;
+    return;
+  }
+  PushFreeList(addr, blocks);
+}
+
+void RemoteAllocator::ReleaseLocalCache() {
+  for (int blocks = 1; blocks <= kMaxRunBlocks; ++blocks) {
+    for (const uint64_t addr : local_free_[blocks]) {
+      PushFreeList(addr, blocks);
+    }
+    local_free_[blocks].clear();
+  }
+  local_bytes_ = 0;
+}
+
+size_t RemoteAllocator::local_cached_runs() const {
+  size_t total = 0;
+  for (const auto& cache : local_free_) {
+    total += cache.size();
+  }
+  return total;
+}
+
+}  // namespace ditto::dm

@@ -1,0 +1,68 @@
+// RemoteAllocator: the client-side second level of the two-level memory
+// management scheme. Allocates runs of contiguous 64-byte blocks.
+//
+// Fast path: recycle a run from the client-local free cache (zero verbs —
+// this is what keeps Ditto's Set at three round trips even though it
+// allocates a fresh buffer per update). Next: carve from the client's
+// current segment; when the segment is exhausted, request a new one from the
+// controller via RPC. Last resort: pop the shared remote per-run-length
+// freelist (a Treiber stack in the memory pool, ABA-guarded with a 16-bit
+// tag) that absorbs cross-client frees and local-cache overflow.
+//
+// Returns address 0 when the pool is out of memory — the caller (the cache)
+// reacts by evicting objects, which pushes runs back onto the freelists.
+#ifndef DITTO_DM_ALLOCATOR_H_
+#define DITTO_DM_ALLOCATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dm/pool.h"
+#include "rdma/verbs.h"
+
+namespace ditto::dm {
+
+class RemoteAllocator {
+ public:
+  // Byte bound on the client-local recycled-run cache; frees beyond this
+  // spill to the shared remote freelists so one client cannot hoard the
+  // pool's spare capacity.
+  static constexpr size_t kLocalCacheBytes = 16 << 10;
+
+  RemoteAllocator(MemoryPool* pool, rdma::Verbs* verbs)
+      : pool_(pool), verbs_(verbs), local_free_(kMaxRunBlocks + 1) {}
+
+  // Allocates a run of `blocks` contiguous 64-byte blocks (1..kMaxRunBlocks).
+  // Returns the arena address, or 0 if memory is exhausted.
+  uint64_t AllocBlocks(int blocks);
+
+  // Returns a run to the local free cache (spilling to the shared remote
+  // freelist when the cache is full).
+  void FreeBlocks(uint64_t addr, int blocks);
+
+  // Pushes every locally cached run back to the shared freelists (client
+  // shutdown / resource reclamation path).
+  void ReleaseLocalCache();
+
+  size_t local_cached_runs() const;
+
+  static int BlocksForBytes(size_t bytes) {
+    return static_cast<int>((bytes + kBlockBytes - 1) / kBlockBytes);
+  }
+
+ private:
+  uint64_t PopFreeList(int blocks);
+  void PushFreeList(uint64_t addr, int blocks);
+  uint64_t AllocFromSegment(int blocks);
+
+  MemoryPool* pool_;
+  rdma::Verbs* verbs_;
+  uint64_t segment_cursor_ = 0;
+  uint64_t segment_end_ = 0;
+  std::vector<std::vector<uint64_t>> local_free_;
+  size_t local_bytes_ = 0;
+};
+
+}  // namespace ditto::dm
+
+#endif  // DITTO_DM_ALLOCATOR_H_

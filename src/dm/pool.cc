@@ -1,0 +1,61 @@
+#include "dm/pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace ditto::dm {
+
+MemoryPool::MemoryPool(const PoolConfig& config)
+    : config_(config),
+      node_(config.memory_bytes, config.cost, config.controller_cores) {
+  const size_t table_bytes = num_slots() * 40;  // 40 B per slot (Figure 7)
+  heap_addr_ = (kSuperblockBytes + table_bytes + kBlockBytes - 1) & ~(kBlockBytes - 1);
+  assert(heap_addr_ < config_.memory_bytes);
+  heap_bytes_ = config_.memory_bytes - heap_addr_;
+  // Block index 0 is never handed out (0 means "null" in freelist links), so
+  // bump allocation starts one block into the heap.
+  bump_ = heap_addr_ + kBlockBytes;
+
+  uint64_t capacity = config_.capacity_objects;
+  if (capacity == 0) {
+    capacity = heap_bytes_ / 256;
+  }
+  node_.arena().WriteU64(kCapacityAddr, capacity);
+  node_.arena().WriteU64(kHistSizeAddr, capacity);  // default: history size == cache size
+
+  node_.RegisterRpc(kRpcAllocSegment,
+                    [this](std::string_view request) { return HandleAllocSegment(request); });
+}
+
+std::string MemoryPool::HandleAllocSegment(std::string_view request) {
+  uint64_t want = config_.segment_bytes;
+  if (request.size() == 8) {
+    std::memcpy(&want, request.data(), 8);
+  }
+  uint64_t granted = 0;
+  {
+    std::lock_guard<std::mutex> lock(alloc_mu_);
+    if (bump_ + want <= heap_addr_ + heap_bytes_) {
+      granted = bump_;
+      bump_ += want;
+      segments_allocated_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::string response(8, '\0');
+  std::memcpy(response.data(), &granted, 8);
+  return response;
+}
+
+void MemoryPool::SetCapacityObjects(uint64_t capacity) {
+  node_.arena().WriteU64(kCapacityAddr, capacity);
+}
+
+uint64_t MemoryPool::capacity_objects() const { return node_.arena().ReadU64(kCapacityAddr); }
+
+uint64_t MemoryPool::cached_objects() const { return node_.arena().ReadU64(kObjectCountAddr); }
+
+void MemoryPool::SetHistorySize(uint64_t entries) {
+  node_.arena().WriteU64(kHistSizeAddr, entries);
+}
+
+}  // namespace ditto::dm

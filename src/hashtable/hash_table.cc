@@ -1,0 +1,71 @@
+#include "hashtable/hash_table.h"
+
+#include <cstring>
+
+namespace ditto::ht {
+
+SlotView HashTable::DecodeSlot(const uint8_t* raw) {
+  SlotView view;
+  std::memcpy(&view.atomic_word, raw + kAtomicOff, 8);
+  std::memcpy(&view.hash, raw + kHashOff, 8);
+  std::memcpy(&view.insert_ts, raw + kInsertTsOff, 8);
+  std::memcpy(&view.last_ts, raw + kLastTsOff, 8);
+  std::memcpy(&view.freq, raw + kFreqOff, 8);
+  return view;
+}
+
+void HashTable::ReadBucket(uint64_t bucket, std::vector<SlotView>* out) {
+  ReadSlots(bucket * slots_per_bucket_, slots_per_bucket_, out);
+}
+
+void HashTable::ReadSlots(uint64_t start_slot, int count, std::vector<SlotView>* out) {
+  if (start_slot + count > num_slots()) {
+    start_slot = num_slots() - count;
+  }
+  const size_t bytes = static_cast<size_t>(count) * kSlotBytes;
+  scratch_.resize(bytes);
+  verbs_->Read(SlotAddr(start_slot), scratch_.data(), bytes);
+  out->clear();
+  out->reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out->push_back(DecodeSlot(scratch_.data() + static_cast<size_t>(i) * kSlotBytes));
+  }
+}
+
+SlotView HashTable::ReadSlot(uint64_t slot_addr) {
+  uint8_t raw[kSlotBytes];
+  verbs_->Read(slot_addr, raw, kSlotBytes);
+  return DecodeSlot(raw);
+}
+
+bool HashTable::CasAtomic(uint64_t slot_addr, uint64_t expected, uint64_t desired) {
+  return verbs_->CompareSwap(slot_addr + kAtomicOff, expected, desired) == expected;
+}
+
+void HashTable::WriteAllMetadata(uint64_t slot_addr, uint64_t hash, uint64_t insert_ts,
+                                 uint64_t last_ts, uint64_t freq) {
+  uint64_t group[4] = {hash, insert_ts, last_ts, freq};
+  verbs_->Write(slot_addr + kHashOff, group, sizeof(group));
+}
+
+void HashTable::WriteLastTs(uint64_t slot_addr, uint64_t last_ts) {
+  verbs_->Write(slot_addr + kLastTsOff, &last_ts, 8);
+}
+
+void HashTable::WriteLastTsAsync(uint64_t slot_addr, uint64_t last_ts) {
+  verbs_->WriteAsync(slot_addr + kLastTsOff, &last_ts, 8);
+}
+
+void HashTable::AddFreq(uint64_t slot_addr, uint64_t delta) {
+  verbs_->FetchAdd(slot_addr + kFreqOff, delta);
+}
+
+void HashTable::AddFreqAsync(uint64_t slot_addr, uint64_t delta) {
+  verbs_->FetchAddAsync(slot_addr + kFreqOff, delta);
+}
+
+void HashTable::WriteExpertBmapAsync(uint64_t slot_addr, uint64_t bmap) {
+  verbs_->WriteAsync(slot_addr + kInsertTsOff, &bmap, 8);
+}
+
+}  // namespace ditto::ht

@@ -1,0 +1,72 @@
+#include "policies/policy.h"
+
+#include "policies/algorithms.h"
+
+#include <map>
+
+namespace ditto::policy {
+namespace {
+
+std::map<std::string, PolicyFactory>& Registry() {
+  static std::map<std::string, PolicyFactory> registry;
+  return registry;
+}
+
+}  // namespace
+
+void RegisterPolicy(const std::string& name, PolicyFactory factory) {
+  Registry()[name] = factory;
+}
+
+std::unique_ptr<CachePolicy> MakePolicy(const std::string& name) {
+  const auto it = Registry().find(name);
+  if (it != Registry().end()) {
+    return it->second();
+  }
+  if (name == "lru") {
+    return std::make_unique<LruPolicy>();
+  }
+  if (name == "lfu") {
+    return std::make_unique<LfuPolicy>();
+  }
+  if (name == "mru") {
+    return std::make_unique<MruPolicy>();
+  }
+  if (name == "fifo") {
+    return std::make_unique<FifoPolicy>();
+  }
+  if (name == "size") {
+    return std::make_unique<SizePolicy>();
+  }
+  if (name == "gds") {
+    return std::make_unique<GdsPolicy>();
+  }
+  if (name == "gdsf") {
+    return std::make_unique<GdsfPolicy>();
+  }
+  if (name == "lfuda") {
+    return std::make_unique<LfudaPolicy>();
+  }
+  if (name == "lruk") {
+    return std::make_unique<LrukPolicy>();
+  }
+  if (name == "lrfu") {
+    return std::make_unique<LrfuPolicy>();
+  }
+  if (name == "lirs") {
+    return std::make_unique<LirsPolicy>();
+  }
+  if (name == "hyperbolic") {
+    return std::make_unique<HyperbolicPolicy>();
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& AllPolicyNames() {
+  static const std::vector<std::string> kNames = {"lru",  "lfu",  "mru",  "gds",
+                                                  "lirs", "fifo", "size", "gdsf",
+                                                  "lrfu", "lruk", "lfuda", "hyperbolic"};
+  return kNames;
+}
+
+}  // namespace ditto::policy

@@ -1,0 +1,88 @@
+// The client-centric caching framework's algorithm interface (paper §4.2).
+//
+// A caching algorithm is a pair of rules over per-object access metadata:
+//   Priority(meta) -> double   eviction priority; the SMALLEST priority in a
+//                              sample is evicted first.
+//   Update(meta)               metadata update rule applied on each access.
+//                              The framework always maintains the default
+//                              fields (last_ts WRITE, freq FAA); Update is
+//                              for algorithm-specific extension words that
+//                              are stored with the object.
+//
+// This mirrors the paper's `double priority(Metadata)` / `void
+// update(Metadata)` interfaces; the LOC counts in Table 3 correspond to the
+// bodies of these two functions per algorithm.
+#ifndef DITTO_POLICIES_POLICY_H_
+#define DITTO_POLICIES_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ditto::policy {
+
+// Access information available to priority/update rules (paper Table 1).
+struct Metadata {
+  // Global, maintained in the sample-friendly hash table.
+  uint64_t hash = 0;
+  uint64_t insert_ts = 0;
+  uint64_t last_ts = 0;
+  uint64_t freq = 0;
+  uint32_t size_bytes = 1;
+
+  // Local, estimated by the client (not stored remotely).
+  double latency_us = 2.0;
+  double cost = 1.0;
+
+  // Current logical time, supplied by the framework at evaluation.
+  uint64_t now = 0;
+
+  // Extension words stored in the object's metadata header (paper §4.4).
+  static constexpr int kMaxExtensionWords = 4;
+  uint64_t ext[kMaxExtensionWords] = {0, 0, 0, 0};
+};
+
+class CachePolicy {
+ public:
+  virtual ~CachePolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  // Eviction priority; the lowest-priority sampled object is the candidate.
+  virtual double Priority(const Metadata& m) const = 0;
+
+  // Called on every access (Get hit or Set) before extension words are
+  // written back. Default algorithms need no extension state.
+  virtual void Update(Metadata& m) const {}
+
+  // Called when the object is first inserted.
+  virtual void OnInsert(Metadata& m) const {}
+
+  // Number of extension words this algorithm persists with each object.
+  virtual int extension_words() const { return 0; }
+
+  // Called when an object chosen by this policy is evicted; lets
+  // inflation-based algorithms (GDS family) advance their aging value L.
+  virtual void OnEvict(const Metadata& victim) const {}
+};
+
+// Creates a policy by name. Known names: lru, lfu, mru, fifo, size, gds,
+// gdsf, lfuda, lruk, lrfu, lirs, hyperbolic, plus anything registered with
+// RegisterPolicy. Returns nullptr for unknown names. Each client owns its
+// own instances (inflation state is local).
+std::unique_ptr<CachePolicy> MakePolicy(const std::string& name);
+
+// Registers a user-defined caching algorithm under `name` (overrides a
+// built-in of the same name). This is the integration point the paper
+// highlights: a new algorithm is a priority function, optionally an update
+// rule — typically around a dozen lines.
+using PolicyFactory = std::unique_ptr<CachePolicy> (*)();
+void RegisterPolicy(const std::string& name, PolicyFactory factory);
+
+// All built-in algorithm names (Table 3 order).
+const std::vector<std::string>& AllPolicyNames();
+
+}  // namespace ditto::policy
+
+#endif  // DITTO_POLICIES_POLICY_H_

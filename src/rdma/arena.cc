@@ -1,0 +1,95 @@
+#include "rdma/arena.h"
+
+#include <cassert>
+
+namespace ditto::rdma {
+
+MemoryArena::MemoryArena(size_t size_bytes) : size_((size_bytes + 7) & ~size_t{7}) {
+  cells_ = std::make_unique<std::atomic<uint64_t>[]>(size_ / 8);
+  for (size_t i = 0; i < size_ / 8; ++i) {
+    cells_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::atomic<uint64_t>* MemoryArena::CellFor(uint64_t addr) {
+  assert(addr < size_);
+  return &cells_[addr / 8];
+}
+
+const std::atomic<uint64_t>* MemoryArena::CellFor(uint64_t addr) const {
+  assert(addr < size_);
+  return &cells_[addr / 8];
+}
+
+void MemoryArena::Read(uint64_t addr, void* dst, size_t len) const {
+  assert(addr + len <= size_);
+  auto* out = static_cast<uint8_t*>(dst);
+  uint64_t cur = addr;
+  size_t remaining = len;
+  while (remaining > 0) {
+    const uint64_t word_base = cur & ~uint64_t{7};
+    const size_t offset = cur - word_base;
+    const size_t chunk = std::min(remaining, 8 - offset);
+    const uint64_t word = CellFor(word_base)->load(std::memory_order_acquire);
+    std::memcpy(out, reinterpret_cast<const uint8_t*>(&word) + offset, chunk);
+    out += chunk;
+    cur += chunk;
+    remaining -= chunk;
+  }
+}
+
+void MemoryArena::Write(uint64_t addr, const void* src, size_t len) {
+  assert(addr + len <= size_);
+  const auto* in = static_cast<const uint8_t*>(src);
+  uint64_t cur = addr;
+  size_t remaining = len;
+  while (remaining > 0) {
+    const uint64_t word_base = cur & ~uint64_t{7};
+    const size_t offset = cur - word_base;
+    const size_t chunk = std::min(remaining, 8 - offset);
+    auto* cell = CellFor(word_base);
+    if (chunk == 8) {
+      uint64_t word;
+      std::memcpy(&word, in, 8);
+      cell->store(word, std::memory_order_release);
+    } else {
+      // Read-modify-write the edge word; CAS loop keeps concurrent edge
+      // writers from losing bytes outside their range.
+      uint64_t old_word = cell->load(std::memory_order_relaxed);
+      uint64_t new_word;
+      do {
+        new_word = old_word;
+        std::memcpy(reinterpret_cast<uint8_t*>(&new_word) + offset, in, chunk);
+      } while (!cell->compare_exchange_weak(old_word, new_word, std::memory_order_release,
+                                            std::memory_order_relaxed));
+    }
+    in += chunk;
+    cur += chunk;
+    remaining -= chunk;
+  }
+}
+
+uint64_t MemoryArena::CompareSwap(uint64_t addr, uint64_t expected, uint64_t desired) {
+  assert(addr % 8 == 0 && addr + 8 <= size_);
+  uint64_t observed = expected;
+  CellFor(addr)->compare_exchange_strong(observed, desired, std::memory_order_acq_rel,
+                                         std::memory_order_acquire);
+  return observed;
+}
+
+uint64_t MemoryArena::FetchAdd(uint64_t addr, uint64_t delta) {
+  assert(addr % 8 == 0 && addr + 8 <= size_);
+  return CellFor(addr)->fetch_add(delta, std::memory_order_acq_rel);
+}
+
+uint64_t MemoryArena::ReadU64(uint64_t addr) const {
+  assert(addr % 8 == 0 && addr + 8 <= size_);
+  return CellFor(addr)->load(std::memory_order_acquire);
+}
+
+void MemoryArena::WriteU64(uint64_t addr, uint64_t value) {
+  assert(addr % 8 == 0 && addr + 8 <= size_);
+  CellFor(addr)->store(value, std::memory_order_release);
+}
+
+}  // namespace ditto::rdma

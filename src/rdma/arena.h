@@ -1,0 +1,50 @@
+// MemoryArena: the memory node's DRAM, modelled as an array of 8-byte atomic
+// cells. One-sided verbs operate on the arena with real atomic instructions,
+// so concurrency behaviour (CAS races, torn multi-word reads) matches what
+// RDMA hardware provides: 8-byte atomicity, no cross-cell atomicity.
+#ifndef DITTO_RDMA_ARENA_H_
+#define DITTO_RDMA_ARENA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+
+namespace ditto::rdma {
+
+class MemoryArena {
+ public:
+  explicit MemoryArena(size_t size_bytes);
+
+  size_t size() const { return size_; }
+
+  // Copies len bytes from arena offset addr into dst. Word-atomic: each
+  // 8-byte cell is read with a single relaxed load; the full range is not
+  // atomic (as with RDMA_READ).
+  void Read(uint64_t addr, void* dst, size_t len) const;
+
+  // Copies len bytes from src into the arena. Word-atomic per cell.
+  void Write(uint64_t addr, const void* src, size_t len);
+
+  // 8-byte compare-and-swap at an 8-byte-aligned address. Returns the value
+  // observed before the operation (equal to expected iff it succeeded).
+  uint64_t CompareSwap(uint64_t addr, uint64_t expected, uint64_t desired);
+
+  // 8-byte fetch-and-add at an 8-byte-aligned address. Returns the old value.
+  uint64_t FetchAdd(uint64_t addr, uint64_t delta);
+
+  // Direct 8-byte read/write helpers (single cell, atomic).
+  uint64_t ReadU64(uint64_t addr) const;
+  void WriteU64(uint64_t addr, uint64_t value);
+
+ private:
+  std::atomic<uint64_t>* CellFor(uint64_t addr);
+  const std::atomic<uint64_t>* CellFor(uint64_t addr) const;
+
+  size_t size_;
+  std::unique_ptr<std::atomic<uint64_t>[]> cells_;
+};
+
+}  // namespace ditto::rdma
+
+#endif  // DITTO_RDMA_ARENA_H_

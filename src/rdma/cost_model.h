@@ -1,0 +1,49 @@
+// Cost parameters of the simulated interconnect and the memory-node CPU.
+// Calibrated to 100 Gbps ConnectX-6-class hardware; every bench prints the
+// model it ran with. Setting enabled=false turns all time accounting off
+// (used by unit tests where only functional behaviour matters).
+#ifndef DITTO_RDMA_COST_MODEL_H_
+#define DITTO_RDMA_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace ditto::rdma {
+
+struct CostModel {
+  bool enabled = true;
+
+  // Round-trip latencies of one-sided verbs (client-observed).
+  double read_rtt_us = 2.0;
+  double write_rtt_us = 2.0;
+  double atomic_rtt_us = 2.5;
+
+  // Posting overhead of an asynchronous (unsignalled) verb: the client does
+  // not wait for the completion, only pays the doorbell cost.
+  double async_post_us = 0.2;
+
+  // Payload bandwidth: 100 Gbps ~ 12.5 GB/s -> 12500 bytes/us.
+  double bytes_per_us = 12500.0;
+
+  // RNIC message-rate ceiling at the memory node, in million messages/s.
+  // ConnectX-6 one-sided READ rate is ~75 Mops; atomics are more expensive
+  // (internal NIC locking, Kalia et al.), modelled by atomic_msg_cost.
+  double nic_mops = 75.0;
+  double atomic_msg_cost = 3.0;  // one atomic consumes this many message slots
+
+  // Memory-node controller CPU: per-core service time of one RPC. 1.2us/op
+  // covers request parse + index/caching-structure maintenance.
+  double rpc_service_us = 1.2;
+
+  // Per-message NIC service time in nanoseconds.
+  double NicServiceNs(double msg_cost) const { return msg_cost * 1000.0 / nic_mops; }
+
+  static CostModel Disabled() {
+    CostModel m;
+    m.enabled = false;
+    return m;
+  }
+};
+
+}  // namespace ditto::rdma
+
+#endif  // DITTO_RDMA_COST_MODEL_H_

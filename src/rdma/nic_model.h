@@ -1,0 +1,109 @@
+// NicModel / CpuModel: virtual-time service accounts for the memory node's
+// RNIC message rate and controller CPU. Both are fluid-queue servers: each
+// request appends its service time to the server's cumulative work W, and a
+// client at virtual time `now` observes queueing delay max(0, W_before -
+// now). For closed-loop clients this is self-stabilizing — once demand
+// exceeds capacity, W runs ahead of every client's clock and the delays
+// throttle aggregate throughput to exactly the service rate — and, unlike an
+// FCFS-horizon model, it has no artifact when clients at different virtual
+// times share one server.
+#ifndef DITTO_RDMA_NIC_MODEL_H_
+#define DITTO_RDMA_NIC_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "rdma/cost_model.h"
+
+namespace ditto::rdma {
+
+class QueueingServer {
+ public:
+  // Appends service_ns of work. Returns the queueing delay in ns a request
+  // issued at client-virtual-time now_ns observes.
+  uint64_t Charge(uint64_t now_ns, uint64_t service_ns) {
+    const uint64_t backlog = work_ns_.fetch_add(service_ns, std::memory_order_relaxed);
+    return backlog > now_ns ? backlog - now_ns : 0;
+  }
+
+  // Total accumulated work: a lower bound on the elapsed time of any run
+  // that pushed this much service through the server.
+  uint64_t next_free_ns() const { return work_ns_.load(std::memory_order_relaxed); }
+  void Reset() { work_ns_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> work_ns_{0};
+};
+
+class NicModel {
+ public:
+  explicit NicModel(const CostModel& cost) : cost_(cost) {}
+
+  // Charges one message with the given slot cost (1.0 for READ/WRITE,
+  // cost_.atomic_msg_cost for atomics). Returns queueing delay in ns.
+  uint64_t ChargeMessage(uint64_t now_ns, double msg_cost) {
+    messages_.fetch_add(1, std::memory_order_relaxed);
+    if (!cost_.enabled) {
+      return 0;
+    }
+    return server_.Charge(now_ns, static_cast<uint64_t>(cost_.NicServiceNs(msg_cost)));
+  }
+
+  void ChargeBytes(uint64_t n) { bytes_.fetch_add(n, std::memory_order_relaxed); }
+
+  uint64_t messages() const { return messages_.load(std::memory_order_relaxed); }
+  uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
+  // Serial completion horizon of the NIC, a lower bound on elapsed time.
+  uint64_t busy_horizon_ns() const { return server_.next_free_ns(); }
+
+  void Reset() {
+    server_.Reset();
+    messages_.store(0, std::memory_order_relaxed);
+    bytes_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  CostModel cost_;
+  QueueingServer server_;
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> bytes_{0};
+};
+
+// The controller CPU of a memory node: `cores` servers approximated as one
+// fast server (rate = cores / service_time).
+class CpuModel {
+ public:
+  CpuModel(const CostModel& cost, int cores) : cost_(cost), cores_(cores) {}
+
+  // Charges one RPC whose handler costs service_us of one core. Returns
+  // queueing delay in ns observed by the caller.
+  uint64_t ChargeRpc(uint64_t now_ns, double service_us) {
+    ops_.fetch_add(1, std::memory_order_relaxed);
+    if (!cost_.enabled) {
+      return 0;
+    }
+    const auto effective_ns =
+        static_cast<uint64_t>(service_us * 1000.0 / static_cast<double>(cores_));
+    return server_.Charge(now_ns, effective_ns);
+  }
+
+  int cores() const { return cores_; }
+  void set_cores(int cores) { cores_ = cores; }
+  uint64_t ops() const { return ops_.load(std::memory_order_relaxed); }
+  uint64_t busy_horizon_ns() const { return server_.next_free_ns(); }
+
+  void Reset() {
+    server_.Reset();
+    ops_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  CostModel cost_;
+  int cores_;
+  QueueingServer server_;
+  std::atomic<uint64_t> ops_{0};
+};
+
+}  // namespace ditto::rdma
+
+#endif  // DITTO_RDMA_NIC_MODEL_H_

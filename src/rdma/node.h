@@ -1,0 +1,88 @@
+// RemoteNode bundles the hardware of one memory node: DRAM arena, RNIC model
+// and controller-CPU model, plus the RPC dispatch table served by the
+// controller. ClientContext is the per-client-thread endpoint state (virtual
+// clock, RNG, op counters).
+#ifndef DITTO_RDMA_NODE_H_
+#define DITTO_RDMA_NODE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/clock.h"
+#include "common/histogram.h"
+#include "common/rand.h"
+#include "rdma/arena.h"
+#include "rdma/cost_model.h"
+#include "rdma/nic_model.h"
+
+namespace ditto::rdma {
+
+// A controller RPC handler: consumes a request payload, returns the response.
+// Handlers run inline on the calling thread but are serialized by the
+// dispatcher mutex (the controller is a small CPU; its parallelism is
+// expressed in the CpuModel, not in handler concurrency).
+using RpcHandler = std::function<std::string(std::string_view request)>;
+
+class RemoteNode {
+ public:
+  RemoteNode(size_t memory_bytes, const CostModel& cost, int controller_cores = 1)
+      : cost_(cost), arena_(memory_bytes), nic_(cost), cpu_(cost, controller_cores) {}
+
+  MemoryArena& arena() { return arena_; }
+  const MemoryArena& arena() const { return arena_; }
+  NicModel& nic() { return nic_; }
+  CpuModel& cpu() { return cpu_; }
+  const CostModel& cost() const { return cost_; }
+
+  void RegisterRpc(uint32_t id, RpcHandler handler) {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    handlers_[id] = std::move(handler);
+  }
+
+  // Dispatches an RPC. Returns the handler's response. Aborts if unknown.
+  std::string DispatchRpc(uint32_t id, std::string_view request) {
+    std::lock_guard<std::mutex> lock(rpc_mu_);
+    return handlers_.at(id)(request);
+  }
+
+ private:
+  CostModel cost_;
+  MemoryArena arena_;
+  NicModel nic_;
+  CpuModel cpu_;
+  std::mutex rpc_mu_;
+  std::map<uint32_t, RpcHandler> handlers_;
+};
+
+// Per-client-thread context. Not thread-safe; one instance per client thread.
+class ClientContext {
+ public:
+  explicit ClientContext(uint32_t id, uint64_t seed = 0) : id_(id), rng_(Mix64(seed + id + 1)) {}
+
+  uint32_t id() const { return id_; }
+  VirtualClock& clock() { return clock_; }
+  Rng& rng() { return rng_; }
+  Histogram& op_hist() { return op_hist_; }
+
+  uint64_t now_ns() const { return clock_.busy_ns(); }
+
+  // Verb issue counters (for reporting and tests).
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t atomics = 0;
+  uint64_t rpcs = 0;
+
+ private:
+  uint32_t id_;
+  VirtualClock clock_;
+  Rng rng_;
+  Histogram op_hist_;
+};
+
+}  // namespace ditto::rdma
+
+#endif  // DITTO_RDMA_NODE_H_

@@ -1,0 +1,86 @@
+#include "rdma/verbs.h"
+
+namespace ditto::rdma {
+
+void Verbs::ChargeSync(double rtt_us, double msg_cost, size_t bytes) {
+  const CostModel& cost = node_->cost();
+  node_->nic().ChargeBytes(bytes);
+  const uint64_t queue_ns = node_->nic().ChargeMessage(ctx_->now_ns(), msg_cost);
+  if (!cost.enabled) {
+    return;
+  }
+  const double wire_us = static_cast<double>(bytes) / cost.bytes_per_us;
+  ctx_->clock().AdvanceNs(queue_ns + static_cast<uint64_t>((rtt_us + wire_us) * 1000.0));
+}
+
+void Verbs::ChargeAsync(double msg_cost, size_t bytes) {
+  const CostModel& cost = node_->cost();
+  node_->nic().ChargeBytes(bytes);
+  node_->nic().ChargeMessage(ctx_->now_ns(), msg_cost);
+  if (!cost.enabled) {
+    return;
+  }
+  ctx_->clock().AdvanceUs(cost.async_post_us);
+}
+
+void Verbs::Read(uint64_t addr, void* dst, size_t len) {
+  node_->arena().Read(addr, dst, len);
+  ctx_->reads++;
+  ChargeSync(node_->cost().read_rtt_us, 1.0, len);
+}
+
+void Verbs::Write(uint64_t addr, const void* src, size_t len) {
+  node_->arena().Write(addr, src, len);
+  ctx_->writes++;
+  ChargeSync(node_->cost().write_rtt_us, 1.0, len);
+}
+
+void Verbs::WriteAsync(uint64_t addr, const void* src, size_t len) {
+  node_->arena().Write(addr, src, len);
+  ctx_->writes++;
+  ChargeAsync(1.0, len);
+}
+
+uint64_t Verbs::CompareSwap(uint64_t addr, uint64_t expected, uint64_t desired) {
+  const uint64_t observed = node_->arena().CompareSwap(addr, expected, desired);
+  ctx_->atomics++;
+  ChargeSync(node_->cost().atomic_rtt_us, node_->cost().atomic_msg_cost, 8);
+  return observed;
+}
+
+uint64_t Verbs::FetchAdd(uint64_t addr, uint64_t delta) {
+  const uint64_t prior = node_->arena().FetchAdd(addr, delta);
+  ctx_->atomics++;
+  ChargeSync(node_->cost().atomic_rtt_us, node_->cost().atomic_msg_cost, 8);
+  return prior;
+}
+
+void Verbs::FetchAddAsync(uint64_t addr, uint64_t delta) {
+  node_->arena().FetchAdd(addr, delta);
+  ctx_->atomics++;
+  ChargeAsync(node_->cost().atomic_msg_cost, 8);
+}
+
+std::string Verbs::Rpc(uint32_t handler_id, std::string_view request, double service_us) {
+  const CostModel& cost = node_->cost();
+  if (service_us <= 0.0) {
+    service_us = cost.rpc_service_us;
+  }
+  ctx_->rpcs++;
+  // Request and response messages.
+  node_->nic().ChargeBytes(request.size());
+  const uint64_t nic_queue_ns = node_->nic().ChargeMessage(ctx_->now_ns(), 1.0);
+  node_->nic().ChargeMessage(ctx_->now_ns(), 1.0);
+  const uint64_t cpu_queue_ns = node_->cpu().ChargeRpc(ctx_->now_ns(), service_us);
+  std::string response = node_->DispatchRpc(handler_id, request);
+  if (cost.enabled) {
+    const double wire_us =
+        static_cast<double>(request.size() + response.size()) / cost.bytes_per_us;
+    ctx_->clock().AdvanceNs(nic_queue_ns + cpu_queue_ns +
+                            static_cast<uint64_t>(
+                                (cost.read_rtt_us + service_us + wire_us) * 1000.0));
+  }
+  return response;
+}
+
+}  // namespace ditto::rdma

@@ -1,0 +1,57 @@
+// Verbs: a client's queue pair to one memory node. Implements the one-sided
+// verb set the paper assumes (READ, WRITE, ATOMIC_CAS, ATOMIC_FAA) plus
+// asynchronous/unsignalled variants and an RDMA-based RPC to the controller.
+//
+// Every verb performs the real memory operation on the node's arena and
+// charges virtual time: NIC queueing delay + round-trip latency + payload
+// serialization. Async verbs charge only the posting overhead to the client
+// but still consume NIC capacity.
+#ifndef DITTO_RDMA_VERBS_H_
+#define DITTO_RDMA_VERBS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "rdma/node.h"
+
+namespace ditto::rdma {
+
+class Verbs {
+ public:
+  Verbs(RemoteNode* node, ClientContext* ctx) : node_(node), ctx_(ctx) {}
+
+  RemoteNode& node() { return *node_; }
+  ClientContext& ctx() { return *ctx_; }
+
+  void Read(uint64_t addr, void* dst, size_t len);
+  void Write(uint64_t addr, const void* src, size_t len);
+  // Posted without waiting for completion (unsignalled WRITE).
+  void WriteAsync(uint64_t addr, const void* src, size_t len);
+
+  // Returns the observed prior value (== expected iff swap succeeded).
+  uint64_t CompareSwap(uint64_t addr, uint64_t expected, uint64_t desired);
+  // Returns the prior value.
+  uint64_t FetchAdd(uint64_t addr, uint64_t delta);
+  // Posted FAA whose result the client does not wait for.
+  void FetchAddAsync(uint64_t addr, uint64_t delta);
+
+  // Two-sided RPC to the controller: two network messages + controller CPU.
+  // service_us scales with handler weight; <= 0 uses the model default.
+  std::string Rpc(uint32_t handler_id, std::string_view request, double service_us = -1.0);
+
+  // Charges a client-local think/backoff time (e.g. 5us lock backoff or the
+  // 500us miss penalty) without touching the network.
+  void Sleep(double us) { ctx_->clock().AdvanceUs(us); }
+
+ private:
+  void ChargeSync(double rtt_us, double msg_cost, size_t bytes);
+  void ChargeAsync(double msg_cost, size_t bytes);
+
+  RemoteNode* node_;
+  ClientContext* ctx_;
+};
+
+}  // namespace ditto::rdma
+
+#endif  // DITTO_RDMA_VERBS_H_

@@ -1,0 +1,76 @@
+// Adapter making core::DittoClient drivable by the experiment runner.
+#ifndef DITTO_SIM_ADAPTERS_H_
+#define DITTO_SIM_ADAPTERS_H_
+
+#include <memory>
+
+#include "core/ditto_client.h"
+#include "core/sharded_client.h"
+#include "sim/client_iface.h"
+
+namespace ditto::sim {
+
+class DittoCacheClient : public CacheClient {
+ public:
+  DittoCacheClient(dm::MemoryPool* pool, rdma::ClientContext* ctx,
+                   const core::DittoConfig& config)
+      : ctx_(ctx), client_(pool, ctx, config) {}
+
+  bool Get(std::string_view key, std::string* value) override { return client_.Get(key, value); }
+  void Set(std::string_view key, std::string_view value) override { client_.Set(key, value); }
+
+  rdma::ClientContext& ctx() override { return *ctx_; }
+
+  ClientCounters counters() const override {
+    const core::DittoStats& s = client_.stats();
+    return ClientCounters{s.gets, s.hits, s.misses, s.sets};
+  }
+
+  void Finish() override { client_.FlushBuffers(); }
+
+  void ResetForMeasurement() override {
+    client_.mutable_stats() = core::DittoStats{};
+    ctx_->op_hist().Reset();
+  }
+
+  core::DittoClient& ditto() { return client_; }
+
+ private:
+  rdma::ClientContext* ctx_;
+  core::DittoClient client_;
+};
+
+// Adapter for multi-memory-node deployments.
+class ShardedDittoCacheClient : public CacheClient {
+ public:
+  ShardedDittoCacheClient(core::ShardedPool* pool, rdma::ClientContext* ctx,
+                          const core::DittoConfig& config)
+      : ctx_(ctx), client_(pool, ctx, config) {}
+
+  bool Get(std::string_view key, std::string* value) override { return client_.Get(key, value); }
+  void Set(std::string_view key, std::string_view value) override { client_.Set(key, value); }
+
+  rdma::ClientContext& ctx() override { return *ctx_; }
+
+  ClientCounters counters() const override {
+    const core::DittoStats s = client_.stats();
+    return ClientCounters{s.gets, s.hits, s.misses, s.sets};
+  }
+
+  void Finish() override { client_.FlushBuffers(); }
+
+  void ResetForMeasurement() override {
+    client_.ResetStats();
+    ctx_->op_hist().Reset();
+  }
+
+  core::ShardedDittoClient& sharded() { return client_; }
+
+ private:
+  rdma::ClientContext* ctx_;
+  core::ShardedDittoClient client_;
+};
+
+}  // namespace ditto::sim
+
+#endif  // DITTO_SIM_ADAPTERS_H_

@@ -1,0 +1,39 @@
+// CacheClient: the uniform client interface the experiment runner drives.
+// Ditto clients and every DM baseline implement it, so benches replay the
+// identical trace against all systems.
+#ifndef DITTO_SIM_CLIENT_IFACE_H_
+#define DITTO_SIM_CLIENT_IFACE_H_
+
+#include <string>
+#include <string_view>
+
+#include "rdma/node.h"
+
+namespace ditto::sim {
+
+struct ClientCounters {
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t sets = 0;
+};
+
+class CacheClient {
+ public:
+  virtual ~CacheClient() = default;
+
+  virtual bool Get(std::string_view key, std::string* value) = 0;
+  virtual void Set(std::string_view key, std::string_view value) = 0;
+
+  virtual rdma::ClientContext& ctx() = 0;
+  virtual ClientCounters counters() const = 0;
+
+  // Flushes client-side buffers at the end of a run.
+  virtual void Finish() {}
+  // Clears counters/latency at the warmup/measurement boundary.
+  virtual void ResetForMeasurement() = 0;
+};
+
+}  // namespace ditto::sim
+
+#endif  // DITTO_SIM_CLIENT_IFACE_H_

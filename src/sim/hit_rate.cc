@@ -1,0 +1,35 @@
+#include "sim/hit_rate.h"
+
+#include <algorithm>
+
+namespace ditto::sim {
+
+double ReplayHitRate(const workload::Trace& trace, size_t capacity,
+                     policy::PrecisePolicyKind kind, int num_clients, uint64_t seed) {
+  const workload::Trace* replay = &trace;
+  workload::Trace interleaved;
+  if (num_clients > 1) {
+    interleaved = workload::InterleaveClients(trace, num_clients, seed);
+    replay = &interleaved;
+  }
+  policy::PreciseCache cache(capacity, kind, seed);
+  for (const workload::Request& req : *replay) {
+    cache.Access(req.key);
+  }
+  return cache.HitRate();
+}
+
+double RelativeHitRateChange(const workload::Trace& trace, size_t capacity,
+                             policy::PrecisePolicyKind kind,
+                             const std::vector<int>& client_counts) {
+  double h_max = 0.0;
+  double h_min = 1.0;
+  for (const int clients : client_counts) {
+    const double h = ReplayHitRate(trace, capacity, kind, clients);
+    h_max = std::max(h_max, h);
+    h_min = std::min(h_min, h);
+  }
+  return h_max <= 0.0 ? 0.0 : (h_max - h_min) / h_max;
+}
+
+}  // namespace ditto::sim

@@ -1,0 +1,29 @@
+// Single-machine hit-rate simulation used by the motivation studies (paper
+// Figures 3, 4, 5): exact replacement policies replayed over (optionally
+// client-interleaved) traces.
+#ifndef DITTO_SIM_HIT_RATE_H_
+#define DITTO_SIM_HIT_RATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "policies/precise.h"
+#include "workloads/trace.h"
+
+namespace ditto::sim {
+
+// Replays the trace through an exact cache of `capacity` objects; when
+// num_clients > 1 the trace is first interleaved the way that many
+// concurrent clients replaying disjoint shards would reorder it.
+double ReplayHitRate(const workload::Trace& trace, size_t capacity,
+                     policy::PrecisePolicyKind kind, int num_clients = 1, uint64_t seed = 7);
+
+// Relative hit-rate change (h_max - h_min) / h_max over the given client
+// counts for one trace and policy (the Figure 5a statistic).
+double RelativeHitRateChange(const workload::Trace& trace, size_t capacity,
+                             policy::PrecisePolicyKind kind,
+                             const std::vector<int>& client_counts);
+
+}  // namespace ditto::sim
+
+#endif  // DITTO_SIM_HIT_RATE_H_

@@ -1,0 +1,171 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/rand.h"
+#include "rdma/verbs.h"
+
+namespace ditto::sim {
+
+size_t RunOptions::ValueBytesFor(uint64_t key) const {
+  if (value_bytes_max <= value_bytes) {
+    return value_bytes;
+  }
+  return value_bytes + Mix64(key * 0x9e3779b97f4a7c15ULL) % (value_bytes_max - value_bytes + 1);
+}
+
+namespace {
+
+// Executes one request on a client, applying the miss-penalty/set-on-miss
+// policy, and records the op latency.
+void ExecuteRequest(CacheClient* client, const workload::Request& req,
+                    const RunOptions& options, const std::string& value) {
+  rdma::ClientContext& ctx = client->ctx();
+  const std::string key = workload::KeyString(req.key);
+  const std::string_view payload(value.data(), options.ValueBytesFor(req.key));
+  const uint64_t begin_ns = ctx.clock().busy_ns();
+  switch (req.op) {
+    case workload::Op::kGet: {
+      const bool hit = client->Get(key, nullptr);
+      if (!hit && options.set_on_miss) {
+        if (options.miss_penalty_us > 0.0) {
+          // Fetch from the backing distributed store.
+          ctx.clock().AdvanceUs(options.miss_penalty_us);
+        }
+        client->Set(key, payload);
+      }
+      break;
+    }
+    case workload::Op::kUpdate:
+    case workload::Op::kInsert:
+      client->Set(key, payload);
+      break;
+  }
+  ctx.op_hist().RecordNs(ctx.clock().busy_ns() - begin_ns);
+}
+
+// Replays [begin, end) of the trace: client c owns the strided shard
+// begin+c, begin+c+n, ... and the clients' progress is interleaved with the
+// same deterministic burst model as workload::InterleaveClients, which
+// stands in for unsynchronized concurrent execution. Replaying in one host
+// thread keeps the merged access order (and thus hit rates) deterministic;
+// timing is virtual, so throughput numbers are unaffected by host
+// scheduling.
+void ReplayInterleaved(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
+                       size_t begin, size_t end, const RunOptions& options) {
+  const size_t n = clients.size();
+  const std::string value(std::max(options.value_bytes, options.value_bytes_max), 'v');
+  std::vector<size_t> cursor(n);
+  std::vector<int> live;
+  for (size_t c = 0; c < n; ++c) {
+    cursor[c] = begin + c;
+    if (cursor[c] < end) {
+      live.push_back(static_cast<int>(c));
+    }
+  }
+  Rng rng(0x9e3779b9 + end);
+  while (!live.empty()) {
+    const size_t pick = rng.NextBelow(live.size());
+    const int c = live[pick];
+    const uint64_t burst = 1 + rng.NextBelow(8);
+    for (uint64_t b = 0; b < burst && cursor[c] < end; ++b) {
+      ExecuteRequest(clients[c], trace[cursor[c]], options, value);
+      cursor[c] += n;
+    }
+    if (static_cast<size_t>(cursor[c]) >= end) {
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
+                   rdma::RemoteNode* node, const RunOptions& options) {
+  return RunTrace(clients, trace, std::vector<rdma::RemoteNode*>{node}, options);
+}
+
+RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
+                   const std::vector<rdma::RemoteNode*>& nodes, const RunOptions& options) {
+  const size_t num_clients = clients.size();
+
+  size_t measure_begin = 0;
+  if (options.warmup_fraction > 0.0) {
+    measure_begin =
+        static_cast<size_t>(options.warmup_fraction * static_cast<double>(trace.size()));
+    ReplayInterleaved(clients, trace, 0, measure_begin, options);
+  }
+
+  std::vector<uint64_t> busy_before(num_clients);
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients[c]->ResetForMeasurement();
+    busy_before[c] = clients[c]->ctx().clock().busy_ns();
+  }
+  std::vector<uint64_t> nic_before(nodes.size());
+  std::vector<uint64_t> cpu_before(nodes.size());
+  uint64_t nic_msgs_before = 0;
+  uint64_t rpc_before = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    nic_before[i] = nodes[i]->nic().busy_horizon_ns();
+    cpu_before[i] = nodes[i]->cpu().busy_horizon_ns();
+    nic_msgs_before += nodes[i]->nic().messages();
+    rpc_before += nodes[i]->cpu().ops();
+  }
+
+  ReplayInterleaved(clients, trace, measure_begin, trace.size(), options);
+  for (CacheClient* client : clients) {
+    client->Finish();
+  }
+
+  RunResult result;
+  Histogram merged;
+  uint64_t sum_busy_delta = 0;
+  for (size_t c = 0; c < num_clients; ++c) {
+    const ClientCounters counters = clients[c]->counters();
+    result.gets += counters.gets;
+    result.hits += counters.hits;
+    result.misses += counters.misses;
+    result.sets += counters.sets;
+    merged.Merge(clients[c]->ctx().op_hist());
+    sum_busy_delta += clients[c]->ctx().clock().busy_ns() - busy_before[c];
+  }
+  result.ops = trace.size() - measure_begin;
+  // Mean per-client busy time models the paper's fixed-duration runs (all
+  // clients execute for the same wall time; miss-prone clients simply finish
+  // fewer requests), avoiding a fixed-work straggler bias.
+  const uint64_t mean_busy_delta = sum_busy_delta / std::max<size_t>(num_clients, 1);
+  uint64_t elapsed_ns = std::max(mean_busy_delta, uint64_t{1});
+  uint64_t nic_msgs_after = 0;
+  uint64_t rpc_after = 0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const uint64_t nic_h = nodes[i]->nic().busy_horizon_ns();
+    const uint64_t cpu_h = nodes[i]->cpu().busy_horizon_ns();
+    elapsed_ns = std::max(elapsed_ns, nic_h > nic_before[i] ? nic_h - nic_before[i] : 0);
+    elapsed_ns = std::max(elapsed_ns, cpu_h > cpu_before[i] ? cpu_h - cpu_before[i] : 0);
+    nic_msgs_after += nodes[i]->nic().messages();
+    rpc_after += nodes[i]->cpu().ops();
+  }
+  result.elapsed_s = static_cast<double>(elapsed_ns) / 1e9;
+  result.throughput_mops = static_cast<double>(result.ops) / (result.elapsed_s * 1e6);
+  result.hit_rate = result.gets == 0
+                        ? 0.0
+                        : static_cast<double>(result.hits) / static_cast<double>(result.gets);
+  result.p50_us = merged.PercentileUs(50);
+  result.p99_us = merged.PercentileUs(99);
+  result.nic_messages = nic_msgs_after - nic_msgs_before;
+  result.rpc_ops = rpc_after - rpc_before;
+  return result;
+}
+
+std::string FormatResult(const std::string& label, const RunResult& r) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%-24s ops=%-9llu tput=%7.2f Mops  hit=%6.2f%%  p50=%7.1fus  p99=%7.1fus",
+                label.c_str(), static_cast<unsigned long long>(r.ops), r.throughput_mops,
+                r.hit_rate * 100.0, r.p50_us, r.p99_us);
+  return buf;
+}
+
+}  // namespace ditto::sim

@@ -1,0 +1,70 @@
+// Experiment runner: replays a workload trace against a set of cache clients
+// on real threads (one per client) and reports throughput / latency / hit
+// rate in virtual time.
+//
+// Time accounting: every client accumulates busy time on its virtual clock;
+// the NIC and controller-CPU models advance their own FCFS horizons. The
+// elapsed time of a phase is
+//   max( max_i Δbusy_i , Δnic_horizon , Δcpu_horizon )
+// and throughput is ops / elapsed. A Get miss pays the configured miss
+// penalty (the paper's 500 us distributed-storage fetch) and re-inserts the
+// object with Set.
+#ifndef DITTO_SIM_RUNNER_H_
+#define DITTO_SIM_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rdma/node.h"
+#include "sim/client_iface.h"
+#include "workloads/trace.h"
+
+namespace ditto::sim {
+
+struct RunOptions {
+  size_t value_bytes = 232;
+  // When > value_bytes, each key gets a deterministic (hash-derived) value
+  // size in [value_bytes, value_bytes_max] — used by size-aware-policy
+  // experiments (SIZE, GDS, GDSF).
+  size_t value_bytes_max = 0;
+  double miss_penalty_us = 0.0;  // 0 = no penalty; misses still Set
+  bool set_on_miss = true;
+  // Fraction of each client's shard replayed as warmup (not measured).
+  double warmup_fraction = 0.0;
+
+  size_t ValueBytesFor(uint64_t key) const;
+};
+
+struct RunResult {
+  uint64_t ops = 0;  // trace requests replayed (a miss's re-insert Set is not an extra op)
+  double elapsed_s = 0.0;
+  double throughput_mops = 0.0;
+  double hit_rate = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t gets = 0;
+  uint64_t sets = 0;
+  uint64_t nic_messages = 0;
+  uint64_t rpc_ops = 0;
+};
+
+// Replays `trace` sharded round-robin over `clients`. `node` provides the
+// NIC/CPU horizons (the memory node the clients talk to).
+RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
+                   rdma::RemoteNode* node, const RunOptions& options);
+
+// Multi-memory-node variant: the elapsed-time bound uses every node's NIC
+// and controller-CPU horizon.
+RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
+                   const std::vector<rdma::RemoteNode*>& nodes, const RunOptions& options);
+
+// Convenience: formats a result row.
+std::string FormatResult(const std::string& label, const RunResult& r);
+
+}  // namespace ditto::sim
+
+#endif  // DITTO_SIM_RUNNER_H_

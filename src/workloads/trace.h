@@ -1,0 +1,39 @@
+// Workload traces: a trace is a sequence of requests over an integer key
+// space. Generators produce traces with controlled algorithm affinity
+// (LRU-friendly, LFU-friendly, phase-switching) standing in for the paper's
+// real-world trace families (see DESIGN.md §1 for the substitution).
+#ifndef DITTO_WORKLOADS_TRACE_H_
+#define DITTO_WORKLOADS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ditto::workload {
+
+enum class Op : uint8_t { kGet, kUpdate, kInsert };
+
+struct Request {
+  Op op;
+  uint64_t key;
+};
+
+using Trace = std::vector<Request>;
+
+// Number of distinct keys referenced by a trace (its footprint).
+uint64_t Footprint(const Trace& trace);
+
+// Renders an integer key as the cache key string ("k%016x" zero-padded so
+// all keys have equal length).
+std::string KeyString(uint64_t key);
+
+// Deterministically interleaves per-client subsequences of `trace` the way
+// `num_clients` concurrent clients replaying disjoint shards would: client i
+// replays requests i, i+n, i+2n... and the interleaving round-robins with a
+// per-client skew so the merged order differs from the original (this is the
+// concurrency effect studied in Figures 5a/5b).
+Trace InterleaveClients(const Trace& trace, int num_clients, uint64_t seed = 7);
+
+}  // namespace ditto::workload
+
+#endif  // DITTO_WORKLOADS_TRACE_H_

@@ -1,0 +1,115 @@
+#include "workloads/trace_file.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace ditto::workload {
+namespace {
+
+// Splits a line on commas (no quoting; trace formats are plain).
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return fields;
+}
+
+// Maps an op string (either format) to a request op. Returns false for ops
+// that do not touch the cache the way our replay models (e.g. delete).
+bool OpFor(std::string op, Op* out) {
+  for (char& c : op) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (op == "get" || op == "gets" || op == "read") {
+    *out = Op::kGet;
+    return true;
+  }
+  if (op == "set" || op == "update" || op == "write" || op == "replace" || op == "cas" ||
+      op == "append" || op == "prepend") {
+    *out = Op::kUpdate;
+    return true;
+  }
+  if (op == "insert" || op == "add") {
+    *out = Op::kInsert;
+    return true;
+  }
+  return false;  // delete / incr / decr / unknown: skipped
+}
+
+}  // namespace
+
+Trace ParseTrace(std::istream& in, TraceFileStats* stats) {
+  Trace trace;
+  std::unordered_map<std::string, uint64_t> intern;
+  TraceFileStats local;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    local.lines++;
+    const std::vector<std::string> fields = SplitCsv(line);
+
+    std::string key;
+    Op op = Op::kGet;
+    bool ok = true;
+    if (fields.size() >= 7) {
+      // Twitter cache-trace format: ts,key,key_size,value_size,client,op,ttl
+      key = fields[1];
+      ok = OpFor(fields[5], &op);
+    } else if (fields.size() == 2) {
+      key = fields[1];
+      ok = OpFor(fields[0], &op);
+    } else if (fields.size() == 1) {
+      key = fields[0];
+      op = Op::kGet;
+    } else {
+      ok = false;
+    }
+    if (!ok || key.empty()) {
+      local.skipped++;
+      continue;
+    }
+    const auto [it, inserted] = intern.try_emplace(key, intern.size());
+    trace.push_back(Request{op, it->second});
+    local.parsed++;
+  }
+  local.distinct_keys = intern.size();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return trace;
+}
+
+Trace LoadTraceFile(const std::string& path, TraceFileStats* stats) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (stats != nullptr) {
+      *stats = TraceFileStats{};
+    }
+    return {};
+  }
+  return ParseTrace(in, stats);
+}
+
+void WriteTraceFile(const Trace& trace, std::ostream& out) {
+  for (const Request& r : trace) {
+    const char* op = r.op == Op::kGet ? "GET" : (r.op == Op::kInsert ? "INSERT" : "UPDATE");
+    out << op << ',' << r.key << '\n';
+  }
+}
+
+}  // namespace ditto::workload

@@ -1,0 +1,43 @@
+// Loading workload traces from disk, for users who have access to real
+// key-value traces (the paper's FIU/Twitter/IBM/CloudPhysics inputs are not
+// redistributable, but their published formats are supported here).
+//
+// Two formats are auto-detected per line:
+//   simple  : "<op>,<key>"   with op in {GET, SET, UPDATE, INSERT, DEL*}
+//             or a bare "<key>" (treated as GET)
+//   twitter : "<timestamp>,<key>,<key_size>,<value_size>,<client_id>,<op>,<ttl>"
+//             (the open-sourced Twitter cache-trace format; op strings like
+//             get/gets/set/add/replace/cas/append/prepend/delete/incr/decr)
+//
+// Keys are arbitrary strings and are interned to dense uint64 ids.
+#ifndef DITTO_WORKLOADS_TRACE_FILE_H_
+#define DITTO_WORKLOADS_TRACE_FILE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "workloads/trace.h"
+
+namespace ditto::workload {
+
+struct TraceFileStats {
+  uint64_t lines = 0;
+  uint64_t parsed = 0;
+  uint64_t skipped = 0;  // malformed or unsupported ops
+  uint64_t distinct_keys = 0;
+};
+
+// Parses a trace from a stream. Returns the trace; fills *stats if non-null.
+Trace ParseTrace(std::istream& in, TraceFileStats* stats = nullptr);
+
+// Loads a trace file from disk. Returns an empty trace (and stats with
+// lines == 0) if the file cannot be opened.
+Trace LoadTraceFile(const std::string& path, TraceFileStats* stats = nullptr);
+
+// Writes a trace in the simple "<op>,<key>" format (round-trip testing and
+// exporting synthetic traces for other tools).
+void WriteTraceFile(const Trace& trace, std::ostream& out);
+
+}  // namespace ditto::workload
+
+#endif  // DITTO_WORKLOADS_TRACE_FILE_H_

@@ -1,0 +1,66 @@
+#include "workloads/ycsb.h"
+
+#include <cassert>
+
+namespace ditto::workload {
+
+YcsbGenerator::YcsbGenerator(const YcsbConfig& config, uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      zipf_(config.num_keys, config.zipf_theta, seed),
+      latest_zipf_(config.num_keys, config.zipf_theta, seed) {
+  switch (config.workload) {
+    case 'A':
+      update_fraction_ = 0.5;
+      break;
+    case 'B':
+      update_fraction_ = 0.05;
+      break;
+    case 'C':
+      update_fraction_ = 0.0;
+      break;
+    case 'D':
+      update_fraction_ = 0.05;
+      insert_mode_ = true;
+      break;
+    default:
+      assert(false && "unknown YCSB workload");
+      update_fraction_ = 0.0;
+  }
+}
+
+uint64_t YcsbGenerator::NextKey() {
+  if (insert_mode_) {
+    // Workload D reads the "latest" distribution: rank 0 is the most
+    // recently inserted key.
+    const uint64_t total = config_.num_keys + inserted_;
+    const uint64_t back = latest_zipf_.Next(rng_);
+    return total - 1 - (back % total);
+  }
+  return zipf_.Next(rng_);
+}
+
+Request YcsbGenerator::Next() {
+  const double roll = rng_.NextDouble();
+  if (roll < update_fraction_) {
+    if (insert_mode_) {
+      const uint64_t key = config_.num_keys + inserted_;
+      inserted_++;
+      return Request{Op::kInsert, key};
+    }
+    return Request{Op::kUpdate, NextKey()};
+  }
+  return Request{Op::kGet, NextKey()};
+}
+
+Trace MakeYcsbTrace(const YcsbConfig& config, uint64_t count, uint64_t seed) {
+  YcsbGenerator gen(config, seed);
+  Trace trace;
+  trace.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    trace.push_back(gen.Next());
+  }
+  return trace;
+}
+
+}  // namespace ditto::workload

@@ -1,0 +1,50 @@
+// YCSB core workloads A-D over a Zipfian (theta = 0.99) key popularity
+// distribution, matching the paper's synthetic benchmark setup: 10M keys,
+// 256-byte key-value pairs.
+#ifndef DITTO_WORKLOADS_YCSB_H_
+#define DITTO_WORKLOADS_YCSB_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/rand.h"
+#include "workloads/trace.h"
+
+namespace ditto::workload {
+
+struct YcsbConfig {
+  char workload = 'C';            // 'A' 50/50 GET/UPDATE, 'B' 95/5, 'C' 100 GET,
+                                  // 'D' 95 GET / 5 INSERT with latest distribution
+  uint64_t num_keys = 10'000'000;
+  double zipf_theta = 0.99;
+  size_t value_bytes = 232;       // 256-B KV pair: 17-B key + header + value
+};
+
+class YcsbGenerator {
+ public:
+  YcsbGenerator(const YcsbConfig& config, uint64_t seed);
+
+  Request Next();
+
+  const YcsbConfig& config() const { return config_; }
+  uint64_t inserted_keys() const { return inserted_; }
+
+ private:
+  uint64_t NextKey();
+
+  YcsbConfig config_;
+  Rng rng_;
+  ScrambledZipfianGenerator zipf_;
+  ZipfianGenerator latest_zipf_;  // for workload D: skewed toward recent inserts
+  uint64_t inserted_ = 0;
+  double update_fraction_;
+  bool insert_mode_ = false;      // D inserts instead of updates
+};
+
+// Materializes `count` requests (benches replay materialized traces so that
+// every system under comparison sees the identical request sequence).
+Trace MakeYcsbTrace(const YcsbConfig& config, uint64_t count, uint64_t seed);
+
+}  // namespace ditto::workload
+
+#endif  // DITTO_WORKLOADS_YCSB_H_

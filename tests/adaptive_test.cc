@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adaptive.h"
+#include "dm/pool.h"
+#include "rdma/verbs.h"
+
+namespace ditto::core {
+namespace {
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  AdaptiveTest()
+      : pool_(MakeConfig()),
+        controller_(&pool_, 2),
+        ctx_(0),
+        verbs_(&pool_.node(), &ctx_) {}
+
+  static dm::PoolConfig MakeConfig() {
+    dm::PoolConfig config;
+    config.memory_bytes = 1 << 20;
+    config.num_buckets = 64;
+    config.cost = rdma::CostModel::Disabled();
+    return config;
+  }
+
+  AdaptiveConfig StateConfig(int batch = 100, bool lazy = true) {
+    AdaptiveConfig config;
+    config.num_experts = 2;
+    config.cache_size_objects = 1000;
+    config.penalty_batch = batch;
+    config.lazy = lazy;
+    return config;
+  }
+
+  dm::MemoryPool pool_;
+  AdaptiveController controller_;
+  rdma::ClientContext ctx_;
+  rdma::Verbs verbs_;
+};
+
+TEST_F(AdaptiveTest, InitialWeightsUniform) {
+  AdaptiveState state(StateConfig(), &verbs_);
+  EXPECT_DOUBLE_EQ(state.local_weights()[0], 0.5);
+  EXPECT_DOUBLE_EQ(state.local_weights()[1], 0.5);
+  EXPECT_DOUBLE_EQ(controller_.weights()[0], 0.5);
+}
+
+TEST_F(AdaptiveTest, RegretPenalizesNamedExpertLocally) {
+  AdaptiveState state(StateConfig(), &verbs_);
+  state.OnRegret(/*bmap=*/0b01, /*age=*/0);  // expert 0 made the bad call
+  EXPECT_LT(state.local_weights()[0], state.local_weights()[1]);
+}
+
+TEST_F(AdaptiveTest, OlderRegretsPenalizedLess) {
+  AdaptiveState state(StateConfig(), &verbs_);
+  const double fresh = state.DiscountedPenalty(0);
+  const double mid = state.DiscountedPenalty(500);
+  const double old = state.DiscountedPenalty(1000);
+  EXPECT_GT(fresh, mid);
+  EXPECT_GT(mid, old);
+  EXPECT_DOUBLE_EQ(fresh, 1.0);                    // d^0
+  EXPECT_NEAR(old, 0.005, 1e-9);                   // d^N = base
+}
+
+TEST_F(AdaptiveTest, LazyFlushHappensAtBatchBoundary) {
+  AdaptiveState state(StateConfig(/*batch=*/10), &verbs_);
+  for (int i = 0; i < 9; ++i) {
+    state.OnRegret(0b01, 0);
+  }
+  EXPECT_EQ(controller_.updates_received(), 0u);
+  EXPECT_EQ(ctx_.rpcs, 0u);
+  state.OnRegret(0b01, 0);  // 10th regret triggers the RPC
+  EXPECT_EQ(controller_.updates_received(), 1u);
+  EXPECT_EQ(ctx_.rpcs, 1u);
+  EXPECT_EQ(state.flushes(), 1u);
+}
+
+TEST_F(AdaptiveTest, EagerModeFlushesEveryRegret) {
+  AdaptiveState state(StateConfig(/*batch=*/100, /*lazy=*/false), &verbs_);
+  for (int i = 0; i < 5; ++i) {
+    state.OnRegret(0b10, 0);
+  }
+  EXPECT_EQ(controller_.updates_received(), 5u);
+}
+
+TEST_F(AdaptiveTest, GlobalWeightsReflectPenalties) {
+  AdaptiveState state(StateConfig(/*batch=*/1), &verbs_);
+  for (int i = 0; i < 20; ++i) {
+    state.OnRegret(0b01, 0);
+  }
+  const std::vector<double> global = controller_.weights();
+  EXPECT_LT(global[0], global[1]);
+  // Local copy was replaced with the controller's response.
+  EXPECT_DOUBLE_EQ(state.local_weights()[0], global[0]);
+}
+
+TEST_F(AdaptiveTest, TwoClientsShareGlobalWeights) {
+  rdma::ClientContext ctx2(1);
+  rdma::Verbs verbs2(&pool_.node(), &ctx2);
+  AdaptiveState a(StateConfig(/*batch=*/1), &verbs_);
+  AdaptiveState b(StateConfig(/*batch=*/1), &verbs2);
+  // Client a observes many regrets against expert 0.
+  for (int i = 0; i < 50; ++i) {
+    a.OnRegret(0b01, 0);
+  }
+  // Client b flushes one regret and receives the global view.
+  b.OnRegret(0b10, 0);
+  EXPECT_LT(b.local_weights()[0], b.local_weights()[1])
+      << "b must learn about expert 0's failures from the controller";
+}
+
+TEST_F(AdaptiveTest, WeightsStayNormalizedAndFloored) {
+  AdaptiveState state(StateConfig(/*batch=*/1), &verbs_);
+  for (int i = 0; i < 2000; ++i) {
+    state.OnRegret(0b01, 0);
+  }
+  const auto& w = state.local_weights();
+  EXPECT_NEAR(w[0] + w[1], 1.0, 0.01);
+  EXPECT_GE(w[0], 1e-3) << "the losing expert must stay revivable";
+}
+
+TEST_F(AdaptiveTest, ChooseExpertFollowsWeights) {
+  AdaptiveState state(StateConfig(/*batch=*/1), &verbs_);
+  for (int i = 0; i < 200; ++i) {
+    state.OnRegret(0b01, 0);  // crush expert 0
+  }
+  Rng rng(5);
+  int chose_1 = 0;
+  constexpr int kDraws = 2000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (state.ChooseExpert(rng) == 1) {
+      chose_1++;
+    }
+  }
+  EXPECT_GT(chose_1, kDraws * 9 / 10);
+}
+
+TEST_F(AdaptiveTest, BothExpertsPenalizedWhenBothNominatedVictim) {
+  AdaptiveState state(StateConfig(), &verbs_);
+  state.OnRegret(0b11, 0);
+  EXPECT_DOUBLE_EQ(state.local_weights()[0], state.local_weights()[1]);
+  EXPECT_NEAR(state.local_weights()[0], 0.5, 1e-9) << "symmetric penalty renormalizes to 0.5";
+}
+
+TEST_F(AdaptiveTest, ManualFlushDrainsPending) {
+  AdaptiveState state(StateConfig(/*batch=*/100), &verbs_);
+  state.OnRegret(0b01, 0);
+  EXPECT_EQ(controller_.updates_received(), 0u);
+  state.Flush();
+  EXPECT_EQ(controller_.updates_received(), 1u);
+  state.Flush();  // nothing pending: no extra RPC
+  EXPECT_EQ(controller_.updates_received(), 1u);
+}
+
+}  // namespace
+}  // namespace ditto::core

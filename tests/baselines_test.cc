@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baselines/cliquemap.h"
+#include "baselines/redis_model.h"
+#include "baselines/shard_lru.h"
+#include "dm/pool.h"
+
+namespace ditto::baselines {
+namespace {
+
+dm::PoolConfig PoolFor(uint64_t capacity, bool costed = false) {
+  dm::PoolConfig config;
+  config.memory_bytes = 16 << 20;
+  config.num_buckets = 1024;
+  config.capacity_objects = capacity;
+  if (!costed) {
+    config.cost = rdma::CostModel::Disabled();
+  }
+  return config;
+}
+
+// ---- CliqueMap -------------------------------------------------------------
+
+TEST(CliqueMapTest, SetGetRoundTrip) {
+  dm::MemoryPool pool(PoolFor(1000));
+  CliqueMapServer server(&pool, CliqueMapConfig{});
+  rdma::ClientContext ctx(0);
+  CliqueMapClient client(&pool, &server, &ctx);
+
+  client.Set("alpha", "value-1");
+  std::string value;
+  EXPECT_TRUE(client.Get("alpha", &value));
+  EXPECT_EQ(value, "value-1");
+  EXPECT_FALSE(client.Get("missing", &value));
+}
+
+TEST(CliqueMapTest, SetsGoThroughServerCpu) {
+  dm::MemoryPool pool(PoolFor(1000));
+  CliqueMapServer server(&pool, CliqueMapConfig{});
+  rdma::ClientContext ctx(0);
+  CliqueMapClient client(&pool, &server, &ctx);
+
+  const uint64_t rpcs_before = pool.node().cpu().ops();
+  for (int i = 0; i < 10; ++i) {
+    client.Set("k" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(pool.node().cpu().ops() - rpcs_before, 10u) << "every Set is an RPC";
+}
+
+TEST(CliqueMapTest, GetsAreOneSidedOnly) {
+  dm::MemoryPool pool(PoolFor(1000));
+  CliqueMapConfig config;
+  config.sync_every = 1000000;  // no sync during this test
+  CliqueMapServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  CliqueMapClient client(&pool, &server, &ctx);
+
+  client.Set("k", "v");
+  const uint64_t rpcs_before = ctx.rpcs;
+  for (int i = 0; i < 20; ++i) {
+    client.Get("k", nullptr);
+  }
+  EXPECT_EQ(ctx.rpcs, rpcs_before) << "Gets must not invoke the server CPU";
+}
+
+TEST(CliqueMapTest, AccessInfoSyncsEveryN) {
+  dm::MemoryPool pool(PoolFor(1000));
+  CliqueMapConfig config;
+  config.sync_every = 10;
+  CliqueMapServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  CliqueMapClient client(&pool, &server, &ctx);
+
+  client.Set("k", "v");
+  const uint64_t rpcs_before = ctx.rpcs;
+  for (int i = 0; i < 30; ++i) {
+    client.Get("k", nullptr);
+  }
+  EXPECT_EQ(ctx.rpcs - rpcs_before, 3u) << "one sync RPC per 10 accesses";
+}
+
+TEST(CliqueMapTest, LruEvictionKeepsRecent) {
+  dm::MemoryPool pool(PoolFor(50));
+  CliqueMapConfig config;
+  config.policy = CmPolicy::kLru;
+  config.capacity_objects = 50;
+  config.sync_every = 1;  // precise, immediate access info
+  CliqueMapServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  CliqueMapClient client(&pool, &server, &ctx);
+
+  for (int i = 0; i < 200; ++i) {
+    client.Set("k" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(server.size(), 50u);
+  // The most recent 50 inserts survive under precise LRU.
+  int alive = 0;
+  for (int i = 150; i < 200; ++i) {
+    if (client.Get("k" + std::to_string(i), nullptr)) {
+      alive++;
+    }
+  }
+  EXPECT_EQ(alive, 50);
+  EXPECT_FALSE(client.Get("k0", nullptr));
+}
+
+TEST(CliqueMapTest, LfuEvictionKeepsFrequent) {
+  dm::MemoryPool pool(PoolFor(50));
+  CliqueMapConfig config;
+  config.policy = CmPolicy::kLfu;
+  config.capacity_objects = 50;
+  config.sync_every = 1;
+  CliqueMapServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  CliqueMapClient client(&pool, &server, &ctx);
+
+  client.Set("hot", "v");
+  for (int i = 0; i < 30; ++i) {
+    client.Get("hot", nullptr);
+  }
+  for (int i = 0; i < 200; ++i) {
+    client.Set("cold" + std::to_string(i), "v");
+  }
+  EXPECT_TRUE(client.Get("hot", nullptr)) << "frequent key must survive LFU eviction";
+}
+
+TEST(CliqueMapTest, UpdateInPlaceDoesNotGrow) {
+  dm::MemoryPool pool(PoolFor(100));
+  CliqueMapServer server(&pool, CliqueMapConfig{});
+  rdma::ClientContext ctx(0);
+  CliqueMapClient client(&pool, &server, &ctx);
+  for (int i = 0; i < 20; ++i) {
+    client.Set("same-key", "value-" + std::to_string(i));
+  }
+  EXPECT_EQ(server.size(), 1u);
+  std::string value;
+  ASSERT_TRUE(client.Get("same-key", &value));
+  EXPECT_EQ(value, "value-19");
+}
+
+// ---- Shard-LRU -------------------------------------------------------------
+
+TEST(ShardLruTest, SetGetRoundTrip) {
+  dm::MemoryPool pool(PoolFor(1000));
+  ShardLruDirectory dir(&pool, ShardLruConfig{});
+  rdma::ClientContext ctx(0);
+  ShardLruClient client(&pool, &dir, &ctx);
+
+  client.Set("alpha", "beta");
+  std::string value;
+  EXPECT_TRUE(client.Get("alpha", &value));
+  EXPECT_EQ(value, "beta");
+  EXPECT_FALSE(client.Get("gamma", &value));
+}
+
+TEST(ShardLruTest, ListMaintenanceCostsExtraVerbs) {
+  dm::MemoryPool pool(PoolFor(1000, /*costed=*/true));
+  ShardLruConfig kvs_config;
+  kvs_config.maintain_list = false;
+  ShardLruDirectory kvs_dir(&pool, kvs_config);
+  ShardLruDirectory kvc_dir(&pool, ShardLruConfig{});
+
+  rdma::ClientContext ctx_kvs(0);
+  rdma::ClientContext ctx_kvc(1);
+  ShardLruClient kvs(&pool, &kvs_dir, &ctx_kvs);
+  ShardLruClient kvc(&pool, &kvc_dir, &ctx_kvc);
+
+  kvs.Set("k", "v");
+  kvc.Set("k2", "v");
+  const double kvs_before = ctx_kvs.clock().busy_us();
+  const double kvc_before = ctx_kvc.clock().busy_us();
+  for (int i = 0; i < 10; ++i) {
+    kvs.Get("k", nullptr);
+    kvc.Get("k2", nullptr);
+  }
+  const double kvs_cost = ctx_kvs.clock().busy_us() - kvs_before;
+  const double kvc_cost = ctx_kvc.clock().busy_us() - kvc_before;
+  EXPECT_GT(kvc_cost, kvs_cost * 1.5)
+      << "maintaining the LRU list must add substantial per-Get latency";
+}
+
+TEST(ShardLruTest, CapacityEnforcedViaLruEviction) {
+  dm::MemoryPool pool(PoolFor(64));
+  ShardLruConfig config;
+  config.capacity_objects = 64;
+  ShardLruDirectory dir(&pool, config);
+  rdma::ClientContext ctx(0);
+  ShardLruClient client(&pool, &dir, &ctx);
+
+  for (int i = 0; i < 300; ++i) {
+    client.Set("k" + std::to_string(i), "v");
+  }
+  // Recent keys survive.
+  int recent_alive = 0;
+  for (int i = 290; i < 300; ++i) {
+    if (client.Get("k" + std::to_string(i), nullptr)) {
+      recent_alive++;
+    }
+  }
+  EXPECT_GE(recent_alive, 8);
+}
+
+TEST(ShardLruTest, LockContentionBurnsNicMessages) {
+  dm::MemoryPool pool(PoolFor(1000, /*costed=*/true));
+  ShardLruConfig config;
+  config.num_shards = 1;  // single lock: worst case (the KVC of Figure 2)
+  ShardLruDirectory dir(&pool, config);
+
+  // Several clients hammer the same lock: lock demand (4 holders per round)
+  // exceeds what one lock can serve, so waiters burn retry CASes.
+  constexpr int kClients = 4;
+  std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+  std::vector<std::unique_ptr<ShardLruClient>> clients;
+  for (int i = 0; i < kClients; ++i) {
+    ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+    clients.push_back(std::make_unique<ShardLruClient>(&pool, &dir, ctxs.back().get()));
+    clients.back()->Set("k" + std::to_string(i), "v");
+  }
+  const uint64_t nic_before = pool.node().nic().messages();
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < kClients; ++i) {
+      clients[i]->Get("k" + std::to_string(i), nullptr);
+    }
+  }
+  uint64_t retries = 0;
+  for (const auto& c : clients) {
+    retries += c->lock_retries();
+  }
+  EXPECT_GT(retries, 100u) << "saturated lock must generate CAS retry storms";
+  EXPECT_GT(pool.node().nic().messages() - nic_before, uint64_t{200} * kClients * 4)
+      << "retries must show up as extra NIC messages";
+}
+
+// ---- Redis model -----------------------------------------------------------
+
+TEST(RedisModelTest, SteadyThroughputBoundedByHotShard) {
+  RedisModel model(RedisModelConfig{});
+  const double t32 = model.SteadyThroughputMops(32);
+  const double t64 = model.SteadyThroughputMops(64);
+  // More shards help, but sublinearly (the hottest key pins one shard).
+  EXPECT_GT(t64, t32);
+  EXPECT_LT(t64, t32 * 2.0);
+  // The skew bound: 32 cores at 0.16 Mops would give 5.1 Mops unsharded; the
+  // skewed cluster achieves far less.
+  EXPECT_LT(t32, 32 * 0.16 * 0.8);
+}
+
+TEST(RedisModelTest, ResizeTriggersMinutesOfMigration) {
+  RedisModel model(RedisModelConfig{});
+  model.Resize(64);
+  // The paper measured 5.3 minutes for 10M 256-B pairs; the model should be
+  // in that regime (minutes, not seconds).
+  EXPECT_GT(model.migration_remaining_s(), 60.0);
+  EXPECT_LT(model.migration_remaining_s(), 1200.0);
+}
+
+TEST(RedisModelTest, ThroughputDipsDuringMigrationAndRecoversHigher) {
+  RedisModel model(RedisModelConfig{});
+  const double before = model.Tick(1.0).throughput_mops;
+  model.Resize(64);
+  const RedisSample during = model.Tick(1.0);
+  EXPECT_TRUE(during.migrating);
+  EXPECT_LT(during.throughput_mops, before);
+  EXPECT_GT(during.p99_us, model.Tick(0.0).p99_us * 0.99);
+  // Run the migration to completion.
+  while (model.migration_remaining_s() > 0.0) {
+    model.Tick(10.0);
+  }
+  const RedisSample after = model.Tick(1.0);
+  EXPECT_FALSE(after.migrating);
+  EXPECT_EQ(after.active_shards, 64);
+  EXPECT_GT(after.throughput_mops, before);
+}
+
+TEST(RedisModelTest, ShrinkAlsoMigrates) {
+  RedisModelConfig config;
+  config.initial_shards = 64;
+  RedisModel model(config);
+  model.Resize(32);
+  EXPECT_GT(model.migration_remaining_s(), 60.0);
+  EXPECT_EQ(model.active_shards(), 64) << "reclamation is delayed until migration completes";
+}
+
+}  // namespace
+}  // namespace ditto::baselines

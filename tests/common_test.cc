@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/flags.h"
+#include "common/hash.h"
+#include "common/histogram.h"
+#include "common/rand.h"
+
+namespace ditto {
+namespace {
+
+TEST(HashTest, Mix64Avalanches) {
+  // Flipping one input bit should flip roughly half the output bits.
+  int total_flips = 0;
+  constexpr int kTrials = 64;
+  for (int bit = 0; bit < kTrials; ++bit) {
+    const uint64_t a = Mix64(0x1234567890abcdefULL);
+    const uint64_t b = Mix64(0x1234567890abcdefULL ^ (uint64_t{1} << bit));
+    total_flips += __builtin_popcountll(a ^ b);
+  }
+  const double avg = static_cast<double>(total_flips) / kTrials;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashTest, HashBytesDistinguishesKeys) {
+  std::set<uint64_t> hashes;
+  for (int i = 0; i < 10000; ++i) {
+    const std::string key = "key-" + std::to_string(i);
+    hashes.insert(HashKey(key));
+  }
+  EXPECT_EQ(hashes.size(), 10000u);
+}
+
+TEST(HashTest, HashIsStableAcrossCalls) {
+  EXPECT_EQ(HashKey("hello"), HashKey("hello"));
+  EXPECT_NE(HashKey("hello"), HashKey("hellp"));
+}
+
+TEST(HashTest, HashHandlesAllLengths) {
+  // Exercise the word loop and every tail length.
+  std::set<uint64_t> hashes;
+  std::string s;
+  for (int len = 0; len < 64; ++len) {
+    hashes.insert(HashBytes(s.data(), s.size()));
+    s.push_back(static_cast<char>('a' + len % 26));
+  }
+  EXPECT_EQ(hashes.size(), 64u);
+}
+
+TEST(HashTest, FingerprintNeverZero) {
+  for (uint64_t i = 0; i < 4096; ++i) {
+    EXPECT_NE(Fingerprint(i << 56), 0);
+  }
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) {
+      same++;
+    }
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(ZipfianTest, Rank0IsHottest) {
+  Rng rng(3);
+  ZipfianGenerator zipf(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  // Rank 0 must dominate rank 1, which must dominate rank 10.
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[10]);
+}
+
+TEST(ZipfianTest, Theta099MatchesExpectedSkew) {
+  Rng rng(3);
+  ZipfianGenerator zipf(10000, 0.99);
+  int head = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Next(rng) < 100) {
+      head++;
+    }
+  }
+  // With theta=0.99 and n=10^4, the top-100 keys draw roughly half the
+  // traffic (zeta(100)/zeta(10000) ~ 0.55).
+  const double frac = static_cast<double>(head) / kDraws;
+  EXPECT_GT(frac, 0.45);
+  EXPECT_LT(frac, 0.70);
+}
+
+TEST(ZipfianTest, UniformWhenThetaZero) {
+  Rng rng(3);
+  ZipfianGenerator zipf(100, 0.0);
+  std::map<uint64_t, int> counts;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[zipf.Next(rng)]++;
+  }
+  for (const auto& [rank, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 100, kDraws / 100 * 0.5) << "rank " << rank;
+  }
+}
+
+TEST(ZipfianTest, ScrambledCoversKeySpace) {
+  Rng rng(3);
+  ScrambledZipfianGenerator zipf(1000, 0.99);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t k = zipf.Next(rng);
+    EXPECT_LT(k, 1000u);
+    seen.insert(k);
+  }
+  // Scrambling spreads hot ranks across the space; most keys get touched.
+  EXPECT_GT(seen.size(), 500u);
+}
+
+TEST(LogicalClockTest, StrictlyIncreasing) {
+  LogicalClock clock;
+  uint64_t prev = clock.Tick();
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t next = clock.Tick();
+    EXPECT_GT(next, prev);
+    prev = next;
+  }
+}
+
+TEST(VirtualClockTest, AccumulatesAdvances) {
+  VirtualClock clock;
+  clock.AdvanceUs(1.5);
+  clock.AdvanceNs(500);
+  EXPECT_EQ(clock.busy_ns(), 2000u);
+  EXPECT_DOUBLE_EQ(clock.busy_us(), 2.0);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram hist;
+  for (int i = 1; i <= 1000; ++i) {
+    hist.RecordNs(static_cast<uint64_t>(i) * 1000);
+  }
+  EXPECT_EQ(hist.count(), 1000u);
+  EXPECT_LE(hist.PercentileNs(50), hist.PercentileNs(99));
+  EXPECT_LE(hist.PercentileNs(99), hist.PercentileNs(100));
+  // p50 of 1..1000us should be near 500us (log-bucket resolution ~4%).
+  EXPECT_NEAR(hist.PercentileUs(50), 500.0, 50.0);
+  EXPECT_NEAR(hist.PercentileUs(99), 990.0, 100.0);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a;
+  Histogram b;
+  a.RecordUs(10);
+  b.RecordUs(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_NEAR(a.MeanNs(), 15000.0, 1.0);
+}
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_DOUBLE_EQ(hist.PercentileNs(99), 0.0);
+  EXPECT_DOUBLE_EQ(hist.MeanNs(), 0.0);
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "2.5", "--gamma", "--name=x"};
+  Flags flags(6, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("beta", 0.0), 2.5);
+  EXPECT_TRUE(flags.GetBool("gamma", false));
+  EXPECT_EQ(flags.GetString("name", ""), "x");
+  EXPECT_EQ(flags.GetInt("missing", 7), 7);
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+}  // namespace
+}  // namespace ditto

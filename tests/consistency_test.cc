@@ -1,0 +1,110 @@
+// Model-based randomized consistency test: a long random Get/Set/Delete
+// sequence executed against DittoClient and mirrored in an in-memory
+// reference map. While the cache stays under capacity nothing may ever be
+// silently lost or corrupted; over capacity, anything the cache still serves
+// must be the value the reference holds (staleness is impossible because
+// Set is linearized through the slot CAS).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+
+#include "common/rand.h"
+#include "core/ditto_client.h"
+#include "dm/pool.h"
+
+namespace ditto::core {
+namespace {
+
+dm::PoolConfig PoolFor(uint64_t capacity) {
+  dm::PoolConfig config;
+  config.memory_bytes = 32 << 20;
+  config.num_buckets = 4096;
+  config.capacity_objects = capacity;
+  config.cost = rdma::CostModel::Disabled();
+  return config;
+}
+
+class ConsistencyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConsistencyTest, RandomOpsMatchReferenceUnderCapacity) {
+  dm::MemoryPool pool(PoolFor(10000));
+  DittoConfig config;
+  config.experts = {GetParam()};
+  DittoServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, config);
+
+  std::unordered_map<std::string, std::string> reference;
+  Rng rng(0xD1770 + HashKey(GetParam()));
+  constexpr int kOps = 20000;
+  constexpr int kKeySpace = 2000;  // well under capacity: no evictions
+
+  for (int i = 0; i < kOps; ++i) {
+    const std::string key = "k" + std::to_string(rng.NextBelow(kKeySpace));
+    const uint64_t roll = rng.NextBelow(100);
+    if (roll < 50) {
+      // Get: must agree with the reference exactly.
+      std::string value;
+      const bool hit = client.Get(key, &value);
+      const auto it = reference.find(key);
+      ASSERT_EQ(hit, it != reference.end()) << "op " << i << " key " << key;
+      if (hit) {
+        ASSERT_EQ(value, it->second) << "op " << i << " key " << key;
+      }
+    } else if (roll < 90) {
+      // Set with a value that encodes the op index (catches stale reads).
+      const std::string value = "v" + std::to_string(i) + std::string(rng.NextBelow(64), 'x');
+      client.Set(key, value);
+      reference[key] = value;
+    } else {
+      const bool existed = reference.erase(key) > 0;
+      ASSERT_EQ(client.Delete(key), existed) << "op " << i << " key " << key;
+    }
+  }
+  EXPECT_EQ(pool.cached_objects(), reference.size());
+}
+
+TEST_P(ConsistencyTest, HitsAreNeverStaleOverCapacity) {
+  dm::MemoryPool pool(PoolFor(500));
+  DittoConfig config;
+  config.experts = {GetParam()};
+  DittoServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, config);
+
+  std::unordered_map<std::string, std::string> reference;
+  Rng rng(0xCAFE + HashKey(GetParam()));
+  constexpr int kOps = 30000;
+  constexpr int kKeySpace = 3000;  // 6x capacity: constant eviction churn
+
+  uint64_t hits = 0;
+  for (int i = 0; i < kOps; ++i) {
+    const std::string key = "k" + std::to_string(rng.NextBelow(kKeySpace));
+    if (rng.NextBelow(100) < 50) {
+      std::string value;
+      if (client.Get(key, &value)) {
+        hits++;
+        const auto it = reference.find(key);
+        ASSERT_NE(it, reference.end()) << "cache served a key never written: " << key;
+        ASSERT_EQ(value, it->second) << "stale value for " << key << " at op " << i;
+      }
+      // A miss is always legal over capacity (the key may have been evicted).
+    } else {
+      const std::string value = "v" + std::to_string(i);
+      client.Set(key, value);
+      reference[key] = value;
+    }
+  }
+  EXPECT_GT(hits, 1000u) << "the test must actually exercise the hit path";
+  EXPECT_LE(pool.cached_objects(), 550u) << "capacity must hold under churn";
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, ConsistencyTest,
+                         ::testing::Values("lru", "lfu", "fifo", "gdsf", "lruk", "hyperbolic"),
+                         [](const ::testing::TestParamInfo<std::string>& info) {
+                           return info.param;
+                         });
+
+}  // namespace
+}  // namespace ditto::core

@@ -1,0 +1,189 @@
+// Failure-injection and boundary-condition tests: pool exhaustion, bucket
+// overflow, tiny capacities, oversized objects, and runtime reconfiguration
+// corner cases.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/ditto_client.h"
+#include "dm/pool.h"
+#include "workloads/trace.h"
+
+namespace ditto::core {
+namespace {
+
+dm::PoolConfig PoolFor(uint64_t capacity, size_t buckets, size_t memory = 16 << 20) {
+  dm::PoolConfig config;
+  config.memory_bytes = memory;
+  config.num_buckets = buckets;
+  config.capacity_objects = capacity;
+  config.cost = rdma::CostModel::Disabled();
+  return config;
+}
+
+DittoConfig Lru() {
+  DittoConfig config;
+  config.experts = {"lru"};
+  return config;
+}
+
+TEST(EdgeCaseTest, HeapExhaustionFallsBackToEviction) {
+  // Object-count capacity effectively unlimited; a tiny heap forces the
+  // allocator-exhaustion eviction path.
+  dm::PoolConfig config = PoolFor(uint64_t{1} << 40, 256, /*memory=*/1 << 20);
+  config.segment_bytes = 8 << 10;
+  dm::MemoryPool pool(config);
+  pool.SetHistorySize(256);
+  DittoServer server(&pool, Lru());
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, Lru());
+
+  for (int i = 0; i < 4000; ++i) {
+    client.Set(workload::KeyString(i), std::string(200, 'v'));
+  }
+  EXPECT_GT(client.stats().evictions, 1000u) << "byte pressure must drive evictions";
+  // Recent keys must be retrievable: the cache keeps cycling, not wedging.
+  int alive = 0;
+  for (int i = 3990; i < 4000; ++i) {
+    if (client.Get(workload::KeyString(i), nullptr)) {
+      alive++;
+    }
+  }
+  EXPECT_GE(alive, 8);
+}
+
+TEST(EdgeCaseTest, CapacityOneStillServes) {
+  dm::MemoryPool pool(PoolFor(1, 64));
+  DittoServer server(&pool, Lru());
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, Lru());
+
+  client.Set("a", "1");
+  client.Set("b", "2");
+  std::string value;
+  // Exactly one of the two survives; the cache must not wedge or crash.
+  const int hits = (client.Get("a", &value) ? 1 : 0) + (client.Get("b", &value) ? 1 : 0);
+  EXPECT_LE(pool.cached_objects(), 2u);
+  EXPECT_GE(hits, 1);
+}
+
+TEST(EdgeCaseTest, SingleBucketTableHandlesOverflow) {
+  // Every key collides into one 8-slot bucket: inserts beyond 8 must evict
+  // in place and keep serving the most recent keys.
+  dm::MemoryPool pool(PoolFor(1000, 1));
+  DittoServer server(&pool, Lru());
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, Lru());
+
+  for (int i = 0; i < 64; ++i) {
+    client.Set("key-" + std::to_string(i), "v");
+  }
+  EXPECT_LE(pool.cached_objects(), 8u);
+  EXPECT_TRUE(client.Get("key-63", nullptr)) << "last insert must be present";
+}
+
+TEST(EdgeCaseTest, KeyAtMaximumObjectSizeRoundTrips) {
+  dm::MemoryPool pool(PoolFor(100, 256));
+  DittoServer server(&pool, Lru());
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, Lru());
+
+  // kMaxRunBlocks * 64 = 1024 bytes: header(8) + key(24) leaves 992.
+  const std::string key(24, 'k');
+  const std::string value(992, 'v');
+  client.Set(key, value);
+  std::string out;
+  ASSERT_TRUE(client.Get(key, &out));
+  EXPECT_EQ(out, value);
+}
+
+TEST(EdgeCaseTest, RepeatedSetDeleteCycleDoesNotLeak) {
+  dm::MemoryPool pool(PoolFor(100, 256, 2 << 20));
+  DittoServer server(&pool, Lru());
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, Lru());
+
+  // If Delete leaked blocks, the small heap would exhaust quickly.
+  for (int i = 0; i < 20000; ++i) {
+    const std::string key = "cycle-" + std::to_string(i % 3);
+    client.Set(key, std::string(500, 'x'));
+    EXPECT_TRUE(client.Delete(key)) << "iteration " << i;
+  }
+  EXPECT_EQ(pool.cached_objects(), 0u);
+}
+
+TEST(EdgeCaseTest, GetWithNullValuePointer) {
+  dm::MemoryPool pool(PoolFor(100, 64));
+  DittoServer server(&pool, Lru());
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, Lru());
+  client.Set("k", "v");
+  EXPECT_TRUE(client.Get("k", nullptr)) << "nullptr skips the value copy";
+}
+
+TEST(EdgeCaseTest, CapacityZeroGrowsAtRuntime) {
+  dm::MemoryPool pool(PoolFor(1, 256));
+  DittoServer server(&pool, Lru());
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, Lru());
+
+  pool.SetCapacityObjects(1);
+  for (int i = 0; i < 50; ++i) {
+    client.Set("k" + std::to_string(i), "v");
+  }
+  EXPECT_LE(pool.cached_objects(), 3u);
+  // Grow and refill: the new capacity must be usable immediately.
+  pool.SetCapacityObjects(500);
+  for (int i = 0; i < 400; ++i) {
+    client.Set("g" + std::to_string(i), "v");
+  }
+  EXPECT_GT(pool.cached_objects(), 300u);
+}
+
+TEST(EdgeCaseTest, AdaptiveWithThreeExperts) {
+  dm::MemoryPool pool(PoolFor(200, 512));
+  DittoConfig config;
+  config.experts = {"lru", "lfu", "fifo"};
+  DittoServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, config);
+
+  for (int i = 0; i < 2000; ++i) {
+    const std::string key = "k" + std::to_string(i % 600);
+    if (!client.Get(key, nullptr)) {
+      client.Set(key, "v");
+    }
+  }
+  const auto& w = client.expert_weights();
+  ASSERT_EQ(w.size(), 3u);
+  double sum = 0.0;
+  for (const double x : w) {
+    EXPECT_GT(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 0.05);
+  EXPECT_GT(client.stats().evictions, 0u);
+}
+
+TEST(EdgeCaseTest, MixedExtensionAndPlainExperts) {
+  // lruk carries 2 extension words, lru none: both must coexist in one
+  // adaptive configuration (the paper's §4.2 mixed-metadata case).
+  dm::MemoryPool pool(PoolFor(200, 512));
+  DittoConfig config;
+  config.experts = {"lru", "lruk"};
+  DittoServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  DittoClient client(&pool, &ctx, config);
+
+  for (int i = 0; i < 1500; ++i) {
+    const std::string key = "k" + std::to_string(i % 400);
+    if (!client.Get(key, nullptr)) {
+      client.Set(key, "v");
+    }
+  }
+  EXPECT_GT(client.stats().hits, 0u);
+  EXPECT_GT(client.stats().evictions, 0u);
+}
+
+}  // namespace
+}  // namespace ditto::core

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/fc_cache.h"
+#include "dm/pool.h"
+#include "hashtable/hash_table.h"
+#include "rdma/verbs.h"
+
+namespace ditto::core {
+namespace {
+
+class FcCacheTest : public ::testing::Test {
+ protected:
+  FcCacheTest()
+      : pool_(MakeConfig()), ctx_(0), verbs_(&pool_.node(), &ctx_), table_(&pool_, &verbs_) {}
+
+  static dm::PoolConfig MakeConfig() {
+    dm::PoolConfig config;
+    config.memory_bytes = 1 << 20;
+    config.num_buckets = 64;
+    config.cost = rdma::CostModel::Disabled();
+    return config;
+  }
+
+  uint64_t FreqAt(uint64_t slot_addr) { return table_.ReadSlot(slot_addr).freq; }
+
+  dm::MemoryPool pool_;
+  rdma::ClientContext ctx_;
+  rdma::Verbs verbs_;
+  ht::HashTable table_;
+};
+
+TEST_F(FcCacheTest, BuffersUntilThreshold) {
+  FcCache fc(&table_, /*threshold=*/10, /*capacity_bytes=*/1 << 20, /*enabled=*/true);
+  const uint64_t slot = table_.BucketSlotAddr(1, 0);
+  for (int i = 0; i < 9; ++i) {
+    fc.RecordAccess(slot, 16);
+  }
+  EXPECT_EQ(FreqAt(slot), 0u) << "no remote FAA before the threshold";
+  EXPECT_EQ(fc.flushes(), 0u);
+  fc.RecordAccess(slot, 16);  // 10th access triggers the flush
+  EXPECT_EQ(FreqAt(slot), 10u);
+  EXPECT_EQ(fc.flushes(), 1u);
+  EXPECT_EQ(fc.entry_count(), 0u);
+}
+
+TEST_F(FcCacheTest, ReducesFaaByThresholdFactor) {
+  FcCache fc(&table_, 10, 1 << 20, true);
+  const uint64_t slot = table_.BucketSlotAddr(1, 0);
+  const uint64_t atomics_before = ctx_.atomics;
+  for (int i = 0; i < 100; ++i) {
+    fc.RecordAccess(slot, 16);
+  }
+  EXPECT_EQ(ctx_.atomics - atomics_before, 10u) << "1 FAA per 10 accesses";
+  EXPECT_EQ(FreqAt(slot), 100u);
+}
+
+TEST_F(FcCacheTest, CapacityEvictsOldestEntry) {
+  // Each entry costs 16 + 24 = 40 bytes; capacity of 100 holds two entries.
+  FcCache fc(&table_, 100, /*capacity_bytes=*/100, true);
+  const uint64_t s1 = table_.BucketSlotAddr(1, 0);
+  const uint64_t s2 = table_.BucketSlotAddr(2, 0);
+  const uint64_t s3 = table_.BucketSlotAddr(3, 0);
+  fc.RecordAccess(s1, 16);
+  fc.RecordAccess(s2, 16);
+  fc.RecordAccess(s3, 16);  // evicts s1 (earliest insert)
+  EXPECT_EQ(FreqAt(s1), 1u) << "evicted entry flushed its delta";
+  EXPECT_EQ(FreqAt(s2), 0u);
+  EXPECT_LE(fc.bytes_used(), 100u);
+}
+
+TEST_F(FcCacheTest, FlushAllDrainsEverything) {
+  FcCache fc(&table_, 100, 1 << 20, true);
+  const uint64_t s1 = table_.BucketSlotAddr(1, 0);
+  const uint64_t s2 = table_.BucketSlotAddr(2, 0);
+  fc.RecordAccess(s1, 16);
+  fc.RecordAccess(s1, 16);
+  fc.RecordAccess(s2, 16);
+  fc.FlushAll();
+  EXPECT_EQ(FreqAt(s1), 2u);
+  EXPECT_EQ(FreqAt(s2), 1u);
+  EXPECT_EQ(fc.entry_count(), 0u);
+  EXPECT_EQ(fc.bytes_used(), 0u);
+}
+
+TEST_F(FcCacheTest, DisabledModeIssuesOneFaaPerAccess) {
+  FcCache fc(&table_, 10, 1 << 20, /*enabled=*/false);
+  const uint64_t slot = table_.BucketSlotAddr(1, 0);
+  const uint64_t atomics_before = ctx_.atomics;
+  for (int i = 0; i < 7; ++i) {
+    fc.RecordAccess(slot, 16);
+  }
+  EXPECT_EQ(ctx_.atomics - atomics_before, 7u);
+  EXPECT_EQ(FreqAt(slot), 7u);
+}
+
+TEST_F(FcCacheTest, SeparateSlotsTrackedIndependently) {
+  FcCache fc(&table_, 3, 1 << 20, true);
+  const uint64_t s1 = table_.BucketSlotAddr(1, 0);
+  const uint64_t s2 = table_.BucketSlotAddr(2, 0);
+  fc.RecordAccess(s1, 16);
+  fc.RecordAccess(s2, 16);
+  fc.RecordAccess(s1, 16);
+  fc.RecordAccess(s1, 16);  // s1 hits threshold 3
+  EXPECT_EQ(FreqAt(s1), 3u);
+  EXPECT_EQ(FreqAt(s2), 0u);
+  EXPECT_EQ(fc.entry_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ditto::core

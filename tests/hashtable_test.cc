@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/hash.h"
+#include "dm/pool.h"
+#include "hashtable/hash_table.h"
+#include "rdma/verbs.h"
+
+namespace ditto::ht {
+namespace {
+
+dm::PoolConfig SmallPool() {
+  dm::PoolConfig config;
+  config.memory_bytes = 4 << 20;
+  config.num_buckets = 256;
+  config.cost = rdma::CostModel::Disabled();
+  return config;
+}
+
+TEST(LayoutTest, PackUnpackRoundTrip) {
+  const uint64_t word = PackAtomic(0xAB, 4, 0x123456789ABCULL);
+  EXPECT_EQ(AtomicFp(word), 0xAB);
+  EXPECT_EQ(AtomicSize(word), 4);
+  EXPECT_EQ(AtomicPointer(word), 0x123456789ABCULL);
+}
+
+TEST(LayoutTest, HistoryTagDetected) {
+  SlotView slot;
+  slot.atomic_word = PackAtomic(0x11, kHistorySizeTag, 42);
+  EXPECT_TRUE(slot.IsHistory());
+  EXPECT_FALSE(slot.IsObject());
+  EXPECT_FALSE(slot.IsEmpty());
+  EXPECT_EQ(slot.history_id(), 42u);
+}
+
+TEST(LayoutTest, EmptySlotDetected) {
+  SlotView slot;
+  EXPECT_TRUE(slot.IsEmpty());
+  EXPECT_FALSE(slot.IsObject());
+  EXPECT_FALSE(slot.IsHistory());
+}
+
+class HashTableTest : public ::testing::Test {
+ protected:
+  HashTableTest()
+      : pool_(SmallPool()), ctx_(0), verbs_(&pool_.node(), &ctx_), table_(&pool_, &verbs_) {}
+
+  dm::MemoryPool pool_;
+  rdma::ClientContext ctx_;
+  rdma::Verbs verbs_;
+  HashTable table_;
+};
+
+TEST_F(HashTableTest, GeometryMatchesConfig) {
+  EXPECT_EQ(table_.num_buckets(), 256u);
+  EXPECT_EQ(table_.slots_per_bucket(), 8);
+  EXPECT_EQ(table_.num_slots(), 2048u);
+  EXPECT_EQ(table_.SlotAddr(1) - table_.SlotAddr(0), kSlotBytes);
+}
+
+TEST_F(HashTableTest, CasPublishesAndReadBucketSeesIt) {
+  const uint64_t slot_addr = table_.BucketSlotAddr(3, 2);
+  const uint64_t desired = PackAtomic(0x42, 4, 0xC0FFEE);
+  EXPECT_TRUE(table_.CasAtomic(slot_addr, 0, desired));
+  EXPECT_FALSE(table_.CasAtomic(slot_addr, 0, desired)) << "second CAS must fail";
+
+  std::vector<SlotView> bucket;
+  table_.ReadBucket(3, &bucket);
+  EXPECT_EQ(bucket[2].atomic_word, desired);
+  EXPECT_TRUE(bucket[2].IsObject());
+  EXPECT_EQ(bucket[2].fp(), 0x42);
+  EXPECT_EQ(bucket[2].pointer(), 0xC0FFEEu);
+}
+
+TEST_F(HashTableTest, MetadataWriteReadRoundTrip) {
+  const uint64_t slot_addr = table_.BucketSlotAddr(5, 0);
+  table_.WriteAllMetadata(slot_addr, /*hash=*/111, /*insert_ts=*/222, /*last_ts=*/333,
+                          /*freq=*/1);
+  SlotView slot = table_.ReadSlot(slot_addr);
+  EXPECT_EQ(slot.hash, 111u);
+  EXPECT_EQ(slot.insert_ts, 222u);
+  EXPECT_EQ(slot.last_ts, 333u);
+  EXPECT_EQ(slot.freq, 1u);
+
+  table_.WriteLastTs(slot_addr, 999);
+  table_.AddFreq(slot_addr, 5);
+  slot = table_.ReadSlot(slot_addr);
+  EXPECT_EQ(slot.last_ts, 999u);
+  EXPECT_EQ(slot.freq, 6u);
+  EXPECT_EQ(slot.insert_ts, 222u) << "stateless neighbours untouched";
+}
+
+TEST_F(HashTableTest, SamplingReadsConsecutiveSlots) {
+  // Fill a run of slots with recognizable pointers.
+  for (uint64_t i = 100; i < 110; ++i) {
+    table_.CasAtomic(table_.SlotAddr(i), 0, PackAtomic(1, 1, i));
+  }
+  std::vector<SlotView> sample;
+  table_.ReadSlots(100, 5, &sample);
+  ASSERT_EQ(sample.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(sample[i].pointer(), 100u + i);
+  }
+}
+
+TEST_F(HashTableTest, SamplingClampsAtTableEnd) {
+  std::vector<SlotView> sample;
+  table_.ReadSlots(table_.num_slots() - 2, 5, &sample);
+  EXPECT_EQ(sample.size(), 5u);  // clamped start, no out-of-bounds read
+}
+
+TEST_F(HashTableTest, SamplingUsesSingleRead) {
+  std::vector<SlotView> sample;
+  const uint64_t reads_before = ctx_.reads;
+  table_.ReadSlots(0, 5, &sample);
+  EXPECT_EQ(ctx_.reads, reads_before + 1) << "sampling must cost exactly one READ";
+}
+
+TEST_F(HashTableTest, ExpertBmapSharesInsertTsField) {
+  const uint64_t slot_addr = table_.BucketSlotAddr(9, 1);
+  table_.WriteExpertBmapAsync(slot_addr, 0b101);
+  const SlotView slot = table_.ReadSlot(slot_addr);
+  EXPECT_EQ(slot.expert_bmap(), 0b101u);
+  EXPECT_EQ(slot.insert_ts, 0b101u) << "bmap is stored in insert_ts (paper Fig. 9)";
+}
+
+TEST_F(HashTableTest, ConcurrentCasOnSameSlotHasOneWinner) {
+  const uint64_t slot_addr = table_.BucketSlotAddr(7, 7);
+  constexpr int kThreads = 8;
+  std::atomic<int> winners{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this, slot_addr, &winners, t] {
+      rdma::ClientContext ctx(static_cast<uint32_t>(t) + 1);
+      rdma::Verbs verbs(&pool_.node(), &ctx);
+      HashTable table(&pool_, &verbs);
+      if (table.CasAtomic(slot_addr, 0, PackAtomic(1, 1, static_cast<uint64_t>(t) + 1))) {
+        winners.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  EXPECT_EQ(winners.load(), 1);
+}
+
+}  // namespace
+}  // namespace ditto::ht

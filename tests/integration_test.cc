@@ -1,0 +1,175 @@
+// End-to-end reproduction checks of the paper's core claims, scaled down to
+// test sizes:
+//   1. Ditto's sampled single-policy variants track their exact counterparts.
+//   2. Adaptive Ditto approaches max(Ditto-LRU, Ditto-LFU) on workloads with
+//      a clear algorithm affinity.
+//   3. On phase-changing workloads, adaptive Ditto beats BOTH fixed experts.
+//   4. The cache keeps functioning across runtime capacity changes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ditto_client.h"
+#include "dm/pool.h"
+#include "sim/adapters.h"
+#include "sim/hit_rate.h"
+#include "sim/runner.h"
+#include "workloads/synthetic_traces.h"
+
+namespace ditto {
+namespace {
+
+struct Deployment {
+  std::unique_ptr<dm::MemoryPool> pool;
+  std::unique_ptr<core::DittoServer> server;
+  std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+  std::vector<std::unique_ptr<sim::DittoCacheClient>> clients;
+  std::vector<sim::CacheClient*> raw;
+};
+
+Deployment MakeDeployment(uint64_t capacity, const std::vector<std::string>& experts,
+                          int num_clients) {
+  Deployment d;
+  dm::PoolConfig pool_config;
+  pool_config.memory_bytes = 64 << 20;
+  // ~4 slots per cached object so samples are dense.
+  pool_config.num_buckets = 1;
+  while (pool_config.num_buckets * 8 < capacity * 4) {
+    pool_config.num_buckets *= 2;
+  }
+  pool_config.capacity_objects = capacity;
+  pool_config.cost = rdma::CostModel::Disabled();
+  d.pool = std::make_unique<dm::MemoryPool>(pool_config);
+
+  core::DittoConfig config;
+  config.experts = experts;
+  d.server = std::make_unique<core::DittoServer>(d.pool.get(), config);
+  for (int i = 0; i < num_clients; ++i) {
+    d.ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+    d.clients.push_back(
+        std::make_unique<sim::DittoCacheClient>(d.pool.get(), d.ctxs.back().get(), config));
+    d.raw.push_back(d.clients.back().get());
+  }
+  return d;
+}
+
+double RunHitRate(const workload::Trace& trace, uint64_t capacity,
+                  const std::vector<std::string>& experts, int num_clients = 2,
+                  double warmup = 0.3) {
+  Deployment d = MakeDeployment(capacity, experts, num_clients);
+  sim::RunOptions options;
+  options.warmup_fraction = warmup;
+  const sim::RunResult result = sim::RunTrace(d.raw, trace, &d.pool->node(), options);
+  return result.hit_rate;
+}
+
+constexpr uint64_t kRequests = 120000;
+constexpr uint64_t kFootprint = 8000;
+constexpr uint64_t kCapacity = 1000;
+
+TEST(IntegrationTest, SampledLruTracksExactLru) {
+  const workload::Trace trace =
+      workload::MakeShiftingHotSet(kRequests, kFootprint, kFootprint / 10, kRequests / 50,
+                                   kFootprint / 20, 3);
+  const double sampled = RunHitRate(trace, kCapacity, {"lru"}, 1);
+  const double exact =
+      sim::ReplayHitRate(trace, kCapacity, policy::PrecisePolicyKind::kLru);
+  EXPECT_NEAR(sampled, exact, 0.10) << "5-sample LRU approximates exact LRU";
+}
+
+TEST(IntegrationTest, SampledLfuTracksExactLfu) {
+  const workload::Trace trace = workload::MakeStationaryZipf(kRequests, kFootprint, 1.0, 3);
+  const double sampled = RunHitRate(trace, kCapacity, {"lfu"}, 1);
+  const double exact =
+      sim::ReplayHitRate(trace, kCapacity, policy::PrecisePolicyKind::kLfu);
+  EXPECT_NEAR(sampled, exact, 0.10);
+}
+
+TEST(IntegrationTest, AdaptiveApproachesBestExpertOnLfuFriendly) {
+  const workload::Trace trace =
+      workload::MakeLfuFriendly(kRequests, kFootprint / 2, 0.99, 0.3, 5);
+  const double lru = RunHitRate(trace, kCapacity, {"lru"});
+  const double lfu = RunHitRate(trace, kCapacity, {"lfu"});
+  const double adaptive = RunHitRate(trace, kCapacity, {"lru", "lfu"});
+  ASSERT_GT(lfu, lru) << "precondition: the workload must be LFU-friendly";
+  const double best = std::max(lru, lfu);
+  const double worst = std::min(lru, lfu);
+  EXPECT_GT(adaptive, worst + (best - worst) * 0.5)
+      << "adaptive must close most of the gap to the better expert";
+}
+
+TEST(IntegrationTest, AdaptiveApproachesBestExpertOnLruFriendly) {
+  const workload::Trace trace =
+      workload::MakeShiftingHotSet(kRequests, kFootprint, kFootprint / 10, kRequests / 60,
+                                   kFootprint / 16, 5);
+  const double lru = RunHitRate(trace, kCapacity, {"lru"});
+  const double lfu = RunHitRate(trace, kCapacity, {"lfu"});
+  ASSERT_GT(lru, lfu) << "precondition: the workload must be LRU-friendly";
+  const double adaptive = RunHitRate(trace, kCapacity, {"lru", "lfu"});
+  const double best = std::max(lru, lfu);
+  const double worst = std::min(lru, lfu);
+  EXPECT_GT(adaptive, worst + (best - worst) * 0.5);
+}
+
+TEST(IntegrationTest, AdaptiveBeatsBothOnChangingWorkload) {
+  const workload::Trace trace =
+      workload::MakeChangingWorkload(4, kRequests / 4, kFootprint, 5);
+  const double lru = RunHitRate(trace, kCapacity, {"lru"}, 2, 0.1);
+  const double lfu = RunHitRate(trace, kCapacity, {"lfu"}, 2, 0.1);
+  const double adaptive = RunHitRate(trace, kCapacity, {"lru", "lfu"}, 2, 0.1);
+  EXPECT_GT(adaptive, std::min(lru, lfu))
+      << "adaptive must never be pinned to the losing expert";
+  // The paper's Figure 19 claim: on phase-switching workloads the adaptive
+  // cache outperforms (or at worst matches) both fixed algorithms.
+  EXPECT_GE(adaptive, std::max(lru, lfu) - 0.03);
+}
+
+TEST(IntegrationTest, CapacityGrowthImprovesHitRate) {
+  const workload::Trace trace = workload::MakeStationaryZipf(kRequests, kFootprint, 0.9, 7);
+  const double small = RunHitRate(trace, 500, {"lru", "lfu"});
+  const double large = RunHitRate(trace, 4000, {"lru", "lfu"});
+  EXPECT_GT(large, small + 0.05);
+}
+
+TEST(IntegrationTest, RuntimeCapacityShrinkTakesEffect) {
+  Deployment d = MakeDeployment(2000, {"lru", "lfu"}, 1);
+  auto& client = *d.clients[0];
+  for (int i = 0; i < 2000; ++i) {
+    client.Set(workload::KeyString(i), "v");
+  }
+  const uint64_t count_before = d.pool->cached_objects();
+  EXPECT_GT(count_before, 1500u);
+  // Shrink the cache at runtime; continued inserts must drain it toward the
+  // new capacity.
+  d.pool->SetCapacityObjects(500);
+  for (int i = 2000; i < 4500; ++i) {
+    client.Set(workload::KeyString(i), "v");
+  }
+  EXPECT_LT(d.pool->cached_objects(), 700u);
+}
+
+TEST(IntegrationTest, MultiClientAdaptiveConvergesLikeSingle) {
+  const workload::Trace trace = workload::MakeStationaryZipf(kRequests, kFootprint, 1.05, 9);
+  const double single = RunHitRate(trace, kCapacity, {"lru", "lfu"}, 1);
+  const double multi = RunHitRate(trace, kCapacity, {"lru", "lfu"}, 8);
+  EXPECT_NEAR(single, multi, 0.12)
+      << "distributed weight updates must not derail adaptivity";
+}
+
+TEST(IntegrationTest, TwelveAlgorithmsRunEndToEnd) {
+  const workload::Trace trace = workload::MakeNamedTrace("webmail", 20000, 2000, 11);
+  for (const std::string& name : policy::AllPolicyNames()) {
+    Deployment d = MakeDeployment(300, {name}, 1);
+    sim::RunOptions options;
+    options.warmup_fraction = 0.2;
+    const sim::RunResult result = sim::RunTrace(d.raw, trace, &d.pool->node(), options);
+    EXPECT_GT(result.ops, 0u) << name;
+    EXPECT_GE(result.hit_rate, 0.0) << name;
+    EXPECT_GT(d.clients[0]->ditto().stats().evictions, 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ditto

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/object.h"
+
+namespace ditto::core {
+namespace {
+
+TEST(ObjectTest, HeaderIsEightBytes) {
+  static_assert(sizeof(ObjectHeader) == 8);
+  EXPECT_EQ(kExtWordsOff, 8u);
+}
+
+TEST(ObjectTest, EncodeDecodeRoundTrip) {
+  std::vector<uint8_t> buf;
+  EncodeObject("my-key", "my-value", nullptr, 0, &buf);
+  EXPECT_EQ(buf.size() % dm::kBlockBytes, 0u) << "padded to block granularity";
+
+  DecodedObject obj;
+  ASSERT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
+  EXPECT_EQ(obj.key, "my-key");
+  EXPECT_EQ(obj.value, "my-value");
+  EXPECT_EQ(obj.header.ext_words, 0);
+}
+
+TEST(ObjectTest, ExtensionWordsPreserved) {
+  const uint64_t ext[3] = {0xAAA, 0xBBB, 0xCCC};
+  std::vector<uint8_t> buf;
+  EncodeObject("k", "v", ext, 3, &buf);
+  DecodedObject obj;
+  ASSERT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
+  ASSERT_EQ(obj.header.ext_words, 3);
+  EXPECT_EQ(obj.ext[0], 0xAAAu);
+  EXPECT_EQ(obj.ext[1], 0xBBBu);
+  EXPECT_EQ(obj.ext[2], 0xCCCu);
+  EXPECT_EQ(obj.key, "k");
+  EXPECT_EQ(obj.value, "v");
+}
+
+TEST(ObjectTest, EmptyKeyAndValue) {
+  std::vector<uint8_t> buf;
+  EncodeObject("", "", nullptr, 0, &buf);
+  DecodedObject obj;
+  ASSERT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
+  EXPECT_TRUE(obj.key.empty());
+  EXPECT_TRUE(obj.value.empty());
+}
+
+TEST(ObjectTest, BlockCountMatchesSize) {
+  EXPECT_EQ(ObjectBlocks(0, 0, 0), 1);       // 8-byte header -> 1 block
+  EXPECT_EQ(ObjectBlocks(8, 48, 0), 1);      // exactly 64 bytes
+  EXPECT_EQ(ObjectBlocks(8, 49, 0), 2);      // one byte over
+  EXPECT_EQ(ObjectBlocks(17, 232, 0), 5);    // the benches' 256-byte KV pair
+  EXPECT_EQ(ObjectBlocks(0, 0, 2), 1);       // 8 + 16 bytes of extensions
+}
+
+TEST(ObjectTest, DecodeRejectsTruncatedBuffers) {
+  std::vector<uint8_t> buf;
+  EncodeObject("some-key", std::string(100, 'x'), nullptr, 0, &buf);
+  DecodedObject obj;
+  EXPECT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
+  EXPECT_FALSE(DecodeObject(buf.data(), 4, &obj)) << "shorter than the header";
+  EXPECT_FALSE(DecodeObject(buf.data(), 32, &obj)) << "header claims more than available";
+}
+
+TEST(ObjectTest, DecodeRejectsAbsurdExtensionCount) {
+  std::vector<uint8_t> buf(64, 0);
+  ObjectHeader header{0, 0, 200};  // ext_words > kMaxExtensionWords
+  std::memcpy(buf.data(), &header, sizeof(header));
+  DecodedObject obj;
+  EXPECT_FALSE(DecodeObject(buf.data(), buf.size(), &obj));
+}
+
+TEST(ObjectTest, LargeValuesUpToMaxRun) {
+  // kMaxRunBlocks * 64 = 1024 bytes total; header 8 + key 8 leaves 1008.
+  const std::string key = "8bytekey";
+  const std::string value(1000, 'z');
+  ASSERT_LE(ObjectBlocks(key.size(), value.size(), 0), dm::kMaxRunBlocks);
+  std::vector<uint8_t> buf;
+  EncodeObject(key, value, nullptr, 0, &buf);
+  DecodedObject obj;
+  ASSERT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
+  EXPECT_EQ(obj.value, value);
+}
+
+TEST(ObjectTest, BinarySafeKeysAndValues) {
+  std::string key("k\0ey", 4);
+  std::string value("v\0\xff\x01", 4);
+  std::vector<uint8_t> buf;
+  EncodeObject(key, value, nullptr, 0, &buf);
+  DecodedObject obj;
+  ASSERT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
+  EXPECT_EQ(obj.key, key);
+  EXPECT_EQ(obj.value, value);
+}
+
+}  // namespace
+}  // namespace ditto::core

@@ -1,0 +1,168 @@
+// Tests of multi-memory-node deployments (ShardedPool / ShardedDittoClient).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hash.h"
+#include "core/sharded_client.h"
+#include "sim/adapters.h"
+#include "sim/runner.h"
+#include "workloads/ycsb.h"
+
+namespace ditto::core {
+namespace {
+
+dm::PoolConfig PerNode(uint64_t capacity) {
+  dm::PoolConfig config;
+  config.memory_bytes = 16 << 20;
+  config.num_buckets = 1024;
+  config.capacity_objects = capacity;
+  config.cost = rdma::CostModel::Disabled();
+  return config;
+}
+
+DittoConfig LruLfu() {
+  DittoConfig config;
+  config.experts = {"lru", "lfu"};
+  return config;
+}
+
+TEST(ShardedTest, RoutingIsDeterministicAndCovered) {
+  ShardedPool pool(PerNode(1000), 4);
+  int seen[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    const int node = pool.NodeFor(HashKey("key-" + std::to_string(i)));
+    ASSERT_GE(node, 0);
+    ASSERT_LT(node, 4);
+    seen[node]++;
+  }
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_GT(seen[n], 1800) << "hash routing must spread keys roughly evenly";
+  }
+}
+
+TEST(ShardedTest, SetGetAcrossNodes) {
+  ShardedPool pool(PerNode(1000), 3);
+  DittoConfig config = LruLfu();
+  ShardedDittoServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  ShardedDittoClient client(&pool, &ctx, config);
+
+  for (int i = 0; i < 500; ++i) {
+    client.Set("key-" + std::to_string(i), "value-" + std::to_string(i));
+  }
+  std::string value;
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(client.Get("key-" + std::to_string(i), &value)) << i;
+    EXPECT_EQ(value, "value-" + std::to_string(i));
+  }
+  // Objects actually landed on multiple nodes.
+  int populated = 0;
+  for (int n = 0; n < 3; ++n) {
+    if (pool.node(n).cached_objects() > 50) {
+      populated++;
+    }
+  }
+  EXPECT_EQ(populated, 3);
+  EXPECT_EQ(pool.cached_objects(), 500u);
+}
+
+TEST(ShardedTest, DeleteRoutesToOwningNode) {
+  ShardedPool pool(PerNode(1000), 2);
+  DittoConfig config = LruLfu();
+  ShardedDittoServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  ShardedDittoClient client(&pool, &ctx, config);
+
+  client.Set("a", "1");
+  client.Set("b", "2");
+  EXPECT_TRUE(client.Delete("a"));
+  EXPECT_FALSE(client.Get("a", nullptr));
+  EXPECT_TRUE(client.Get("b", nullptr));
+}
+
+TEST(ShardedTest, PerNodeCapacityEnforced) {
+  ShardedPool pool(PerNode(100), 4);  // 400 objects aggregate
+  DittoConfig config = LruLfu();
+  ShardedDittoServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  ShardedDittoClient client(&pool, &ctx, config);
+
+  for (int i = 0; i < 2000; ++i) {
+    client.Set("key-" + std::to_string(i), "v");
+  }
+  EXPECT_LE(pool.cached_objects(), 440u);
+  EXPECT_GT(client.stats().evictions, 1000u);
+}
+
+TEST(ShardedTest, StatsAggregateAcrossNodes) {
+  ShardedPool pool(PerNode(1000), 2);
+  DittoConfig config = LruLfu();
+  ShardedDittoServer server(&pool, config);
+  rdma::ClientContext ctx(0);
+  ShardedDittoClient client(&pool, &ctx, config);
+
+  for (int i = 0; i < 100; ++i) {
+    client.Set("k" + std::to_string(i), "v");
+  }
+  for (int i = 0; i < 200; ++i) {
+    client.Get("k" + std::to_string(i), nullptr);  // half hit, half miss
+  }
+  const DittoStats stats = client.stats();
+  EXPECT_EQ(stats.sets, 100u);
+  EXPECT_EQ(stats.gets, 200u);
+  EXPECT_EQ(stats.hits, 100u);
+  EXPECT_EQ(stats.misses, 100u);
+}
+
+TEST(ShardedTest, AggregateNicScalesThroughput) {
+  // The paper's single-MN Ditto is bounded by one RNIC's message rate;
+  // sharding the pool over more memory nodes must scale throughput.
+  workload::YcsbConfig ycsb;
+  ycsb.workload = 'C';
+  ycsb.num_keys = 10000;
+  const workload::Trace trace = workload::MakeYcsbTrace(ycsb, 60000, 1);
+
+  const auto run_with_nodes = [&](int nodes) {
+    dm::PoolConfig per_node;
+    per_node.memory_bytes = 32 << 20;
+    per_node.num_buckets = 8192;
+    per_node.capacity_objects = 40000;
+    ShardedPool pool(per_node, nodes);
+    DittoConfig config;
+    config.experts = {"lru", "lfu"};
+    ShardedDittoServer server(&pool, config);
+
+    // Enough clients that aggregate demand (~ clients / 4.3us per Get)
+    // clearly exceeds one NIC's ~13 Mops ceiling.
+    constexpr int kClients = 128;
+    std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+    std::vector<std::unique_ptr<sim::ShardedDittoCacheClient>> clients;
+    std::vector<sim::CacheClient*> raw;
+    std::vector<rdma::RemoteNode*> remote_nodes;
+    for (int n = 0; n < nodes; ++n) {
+      remote_nodes.push_back(&pool.node(n).node());
+    }
+    for (int i = 0; i < kClients; ++i) {
+      ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+      clients.push_back(
+          std::make_unique<sim::ShardedDittoCacheClient>(&pool, ctxs.back().get(), config));
+      raw.push_back(clients.back().get());
+    }
+    // Preload so the measured phase has no misses.
+    const std::string value(232, 'v');
+    for (uint64_t k = 0; k < ycsb.num_keys; ++k) {
+      clients[k % kClients]->Set(workload::KeyString(k), value);
+    }
+    sim::RunOptions options;
+    options.set_on_miss = false;
+    return sim::RunTrace(raw, trace, remote_nodes, options).throughput_mops;
+  };
+
+  const double one = run_with_nodes(1);
+  const double four = run_with_nodes(4);
+  EXPECT_GT(four, one * 1.5) << "adding memory nodes must relieve the NIC bottleneck";
+}
+
+}  // namespace
+}  // namespace ditto::core

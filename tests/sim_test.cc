@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "sim/adapters.h"
+#include "sim/hit_rate.h"
+#include "sim/runner.h"
+#include "workloads/synthetic_traces.h"
+#include "workloads/ycsb.h"
+
+namespace ditto::sim {
+namespace {
+
+TEST(HitRateSimTest, CapacityMonotonicity) {
+  const workload::Trace t = workload::MakeStationaryZipf(50000, 5000, 0.99, 1);
+  const double small = ReplayHitRate(t, 100, policy::PrecisePolicyKind::kLru);
+  const double medium = ReplayHitRate(t, 500, policy::PrecisePolicyKind::kLru);
+  const double large = ReplayHitRate(t, 2500, policy::PrecisePolicyKind::kLru);
+  EXPECT_LT(small, medium);
+  EXPECT_LT(medium, large);
+}
+
+TEST(HitRateSimTest, FullCapacityMeansOnlyColdMisses) {
+  const workload::Trace t = workload::MakeStationaryZipf(20000, 1000, 0.99, 1);
+  const double rate = ReplayHitRate(t, 1000, policy::PrecisePolicyKind::kLru);
+  // Footprint fits: only compulsory misses.
+  EXPECT_GT(rate, 0.9);
+}
+
+TEST(HitRateSimTest, InterleavingShiftsHitRate) {
+  // A drifting workload is order-sensitive: concurrent-client interleaving
+  // must change the measured hit rate (the Figure 5 effect).
+  const workload::Trace t =
+      workload::MakeShiftingHotSet(100000, 10000, 1000, 2000, 500, 1);
+  const double h1 = ReplayHitRate(t, 800, policy::PrecisePolicyKind::kLru, 1);
+  const double h64 = ReplayHitRate(t, 800, policy::PrecisePolicyKind::kLru, 64);
+  EXPECT_NE(h1, h64);
+}
+
+TEST(HitRateSimTest, RelativeChangeIsNonNegativeAndBounded) {
+  const workload::Trace t =
+      workload::MakeShiftingHotSet(50000, 5000, 500, 1000, 250, 1);
+  const double change =
+      RelativeHitRateChange(t, 400, policy::PrecisePolicyKind::kLru, {1, 8, 64});
+  EXPECT_GE(change, 0.0);
+  EXPECT_LE(change, 1.0);
+}
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  static dm::PoolConfig PoolFor(uint64_t capacity) {
+    dm::PoolConfig config;
+    config.memory_bytes = 32 << 20;
+    config.num_buckets = 8192;
+    config.capacity_objects = capacity;
+    return config;  // cost model ON: the runner is about timing
+  }
+};
+
+TEST_F(RunnerTest, ThroughputAndHitRateReported) {
+  dm::MemoryPool pool(PoolFor(20000));
+  core::DittoConfig config;
+  config.experts = {"lru"};
+  core::DittoServer server(&pool, config);
+
+  constexpr int kClients = 4;
+  std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+  std::vector<std::unique_ptr<DittoCacheClient>> clients;
+  std::vector<CacheClient*> raw;
+  for (int i = 0; i < kClients; ++i) {
+    ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+    clients.push_back(std::make_unique<DittoCacheClient>(&pool, ctxs.back().get(), config));
+    raw.push_back(clients.back().get());
+  }
+
+  workload::YcsbConfig ycsb;
+  ycsb.workload = 'C';
+  ycsb.num_keys = 5000;
+  const workload::Trace trace = workload::MakeYcsbTrace(ycsb, 20000, 1);
+
+  RunOptions options;
+  options.warmup_fraction = 0.25;
+  const RunResult result = RunTrace(raw, trace, &pool.node(), options);
+
+  EXPECT_GT(result.ops, 10000u);
+  EXPECT_GT(result.throughput_mops, 0.0);
+  EXPECT_GT(result.hit_rate, 0.5) << "after warmup most zipf traffic hits";
+  EXPECT_GT(result.p50_us, 1.0) << "a Get costs at least two RTTs";
+  EXPECT_LE(result.p50_us, result.p99_us);
+  EXPECT_GT(result.nic_messages, result.ops) << "every op issues multiple verbs";
+}
+
+TEST_F(RunnerTest, MissPenaltyCrushesThroughput) {
+  dm::MemoryPool pool(PoolFor(500));
+  core::DittoConfig config;
+  config.experts = {"lru"};
+  core::DittoServer server(&pool, config);
+
+  rdma::ClientContext ctx(0);
+  DittoCacheClient client(&pool, &ctx, config);
+  std::vector<CacheClient*> raw = {&client};
+
+  // Footprint 10x capacity: most Gets miss and pay 500us.
+  const workload::Trace trace = workload::MakeStationaryZipf(5000, 5000, 0.2, 1);
+  RunOptions options;
+  options.miss_penalty_us = 500.0;
+  const RunResult result = RunTrace(raw, trace, &pool.node(), options);
+  EXPECT_LT(result.hit_rate, 0.5);
+  EXPECT_LT(result.throughput_mops, 0.01) << "500us penalties dominate";
+}
+
+TEST_F(RunnerTest, ReplayIsDeterministic) {
+  // Identical deployments replaying the same trace must produce bit-identical
+  // results: the runner interleaves clients with a seeded model in virtual
+  // time, so nothing depends on host scheduling.
+  workload::YcsbConfig ycsb;
+  ycsb.workload = 'A';
+  ycsb.num_keys = 3000;
+  const workload::Trace trace = workload::MakeYcsbTrace(ycsb, 15000, 3);
+
+  const auto run_once = [&] {
+    dm::MemoryPool pool(PoolFor(1000));
+    core::DittoConfig config;
+    config.experts = {"lru", "lfu"};
+    core::DittoServer server(&pool, config);
+    std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+    std::vector<std::unique_ptr<DittoCacheClient>> clients;
+    std::vector<CacheClient*> raw;
+    for (int i = 0; i < 8; ++i) {
+      ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+      clients.push_back(std::make_unique<DittoCacheClient>(&pool, ctxs.back().get(), config));
+      raw.push_back(clients.back().get());
+    }
+    RunOptions options;
+    options.warmup_fraction = 0.2;
+    options.miss_penalty_us = 500.0;
+    return RunTrace(raw, trace, &pool.node(), options);
+  };
+
+  const RunResult a = run_once();
+  const RunResult b = run_once();
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.sets, b.sets);
+  EXPECT_EQ(a.nic_messages, b.nic_messages);
+  EXPECT_DOUBLE_EQ(a.throughput_mops, b.throughput_mops);
+  EXPECT_DOUBLE_EQ(a.p99_us, b.p99_us);
+}
+
+TEST_F(RunnerTest, VariableValueSizesAreDeterministicPerKey) {
+  RunOptions options;
+  options.value_bytes = 64;
+  options.value_bytes_max = 960;
+  std::set<size_t> sizes;
+  for (uint64_t key = 0; key < 200; ++key) {
+    const size_t a = options.ValueBytesFor(key);
+    EXPECT_EQ(a, options.ValueBytesFor(key)) << "size must be a pure function of the key";
+    EXPECT_GE(a, options.value_bytes);
+    EXPECT_LE(a, options.value_bytes_max);
+    sizes.insert(a);
+  }
+  EXPECT_GT(sizes.size(), 50u) << "sizes must actually vary across keys";
+}
+
+TEST_F(RunnerTest, MoreClientsMoreThroughputUntilNicBound) {
+  dm::MemoryPool pool(PoolFor(20000));
+  core::DittoConfig config;
+  config.experts = {"lru"};
+  core::DittoServer server(&pool, config);
+
+  workload::YcsbConfig ycsb;
+  ycsb.workload = 'C';
+  ycsb.num_keys = 5000;
+  const workload::Trace trace = workload::MakeYcsbTrace(ycsb, 30000, 1);
+
+  auto run_with = [&](int n) {
+    std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+    std::vector<std::unique_ptr<DittoCacheClient>> clients;
+    std::vector<CacheClient*> raw;
+    for (int i = 0; i < n; ++i) {
+      ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+      clients.push_back(std::make_unique<DittoCacheClient>(&pool, ctxs.back().get(), config));
+      raw.push_back(clients.back().get());
+    }
+    RunOptions options;
+    options.warmup_fraction = 0.2;
+    return RunTrace(raw, trace, &pool.node(), options).throughput_mops;
+  };
+  const double t1 = run_with(1);
+  const double t8 = run_with(8);
+  EXPECT_GT(t8, t1 * 3.0) << "throughput must scale with clients before the NIC saturates";
+}
+
+}  // namespace
+}  // namespace ditto::sim

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sim/hit_rate.h"
+#include "workloads/synthetic_traces.h"
+#include "workloads/trace.h"
+#include "workloads/ycsb.h"
+
+namespace ditto::workload {
+namespace {
+
+TEST(TraceTest, FootprintCountsDistinctKeys) {
+  Trace trace = {{Op::kGet, 1}, {Op::kGet, 2}, {Op::kGet, 1}, {Op::kUpdate, 3}};
+  EXPECT_EQ(Footprint(trace), 3u);
+}
+
+TEST(TraceTest, KeyStringIsFixedWidthAndUnique) {
+  const std::string a = KeyString(1);
+  const std::string b = KeyString(0xFFFFFFFFULL);
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_NE(a, b);
+}
+
+TEST(TraceTest, InterleavePreservesMultiset) {
+  Trace trace;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    trace.push_back({Op::kGet, i % 100});
+  }
+  const Trace mixed = InterleaveClients(trace, 8);
+  ASSERT_EQ(mixed.size(), trace.size());
+  std::map<uint64_t, int> before;
+  std::map<uint64_t, int> after;
+  for (const auto& r : trace) {
+    before[r.key]++;
+  }
+  for (const auto& r : mixed) {
+    after[r.key]++;
+  }
+  EXPECT_EQ(before, after);
+}
+
+TEST(TraceTest, InterleaveChangesOrder) {
+  Trace trace;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    trace.push_back({Op::kGet, i});
+  }
+  const Trace mixed = InterleaveClients(trace, 16);
+  int displaced = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (mixed[i].key != trace[i].key) {
+      displaced++;
+    }
+  }
+  EXPECT_GT(displaced, 500);
+}
+
+TEST(TraceTest, InterleaveSingleClientIsIdentity) {
+  Trace trace = {{Op::kGet, 1}, {Op::kGet, 2}};
+  const Trace same = InterleaveClients(trace, 1);
+  EXPECT_EQ(same.size(), 2u);
+  EXPECT_EQ(same[0].key, 1u);
+  EXPECT_EQ(same[1].key, 2u);
+}
+
+TEST(YcsbTest, WorkloadMixesMatchSpecs) {
+  const std::map<char, double> expected_updates = {
+      {'A', 0.5}, {'B', 0.05}, {'C', 0.0}, {'D', 0.05}};
+  for (const auto& [workload, frac] : expected_updates) {
+    YcsbConfig config;
+    config.workload = workload;
+    config.num_keys = 10000;
+    const Trace trace = MakeYcsbTrace(config, 20000, 1);
+    uint64_t non_get = 0;
+    for (const auto& r : trace) {
+      if (r.op != Op::kGet) {
+        non_get++;
+      }
+    }
+    EXPECT_NEAR(static_cast<double>(non_get) / trace.size(), frac, 0.01)
+        << "workload " << workload;
+  }
+}
+
+TEST(YcsbTest, WorkloadDInsertsFreshKeys) {
+  YcsbConfig config;
+  config.workload = 'D';
+  config.num_keys = 1000;
+  const Trace trace = MakeYcsbTrace(config, 10000, 1);
+  std::set<uint64_t> inserted;
+  for (const auto& r : trace) {
+    if (r.op == Op::kInsert) {
+      EXPECT_GE(r.key, config.num_keys) << "inserts use keys beyond the preload";
+      EXPECT_TRUE(inserted.insert(r.key).second) << "every insert is a new key";
+    }
+  }
+  EXPECT_GT(inserted.size(), 100u);
+}
+
+TEST(YcsbTest, ZipfSkewConcentratesTraffic) {
+  YcsbConfig config;
+  config.workload = 'C';
+  config.num_keys = 100000;
+  const Trace trace = MakeYcsbTrace(config, 100000, 1);
+  std::map<uint64_t, int> counts;
+  for (const auto& r : trace) {
+    counts[r.key]++;
+  }
+  // Top-1% of distinct keys should draw a large share of traffic.
+  std::vector<int> sorted;
+  sorted.reserve(counts.size());
+  for (const auto& [k, c] : counts) {
+    sorted.push_back(c);
+  }
+  std::sort(sorted.rbegin(), sorted.rend());
+  uint64_t head = 0;
+  const size_t head_n = counts.size() / 100 + 1;
+  for (size_t i = 0; i < head_n; ++i) {
+    head += static_cast<uint64_t>(sorted[i]);
+  }
+  EXPECT_GT(static_cast<double>(head) / trace.size(), 0.3);
+}
+
+TEST(YcsbTest, DeterministicForSeed) {
+  YcsbConfig config;
+  config.workload = 'A';
+  config.num_keys = 1000;
+  const Trace a = MakeYcsbTrace(config, 1000, 42);
+  const Trace b = MakeYcsbTrace(config, 1000, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].op, b[i].op);
+  }
+}
+
+// ---- Synthetic trace affinities (the substitution's load-bearing claim) ---
+
+constexpr uint64_t kCount = 200000;
+constexpr uint64_t kFootprint = 10000;
+
+double LruRate(const Trace& t, size_t cap) {
+  return sim::ReplayHitRate(t, cap, policy::PrecisePolicyKind::kLru);
+}
+double LfuRate(const Trace& t, size_t cap) {
+  return sim::ReplayHitRate(t, cap, policy::PrecisePolicyKind::kLfu);
+}
+
+TEST(SyntheticTest, LfuFriendlyGeneratorFavorsLfu) {
+  const Trace t = MakeLfuFriendly(kCount, kFootprint / 2, 0.99, 0.3, 1);
+  const size_t cap = kFootprint / 10;
+  EXPECT_GT(LfuRate(t, cap), LruRate(t, cap) + 0.02)
+      << "one-hit-wonder noise must separate LFU from LRU decisively";
+}
+
+TEST(SyntheticTest, StationaryZipfNearTieBetweenLruAndLfu) {
+  // Pure stationary Zipf: the classic result is that LRU and LFU are close.
+  const Trace t = MakeStationaryZipf(kCount, kFootprint, 0.99, 1);
+  const size_t cap = kFootprint / 10;
+  EXPECT_NEAR(LfuRate(t, cap), LruRate(t, cap), 0.05);
+}
+
+TEST(SyntheticTest, ShiftingHotSetIsLruFriendly) {
+  const Trace t = MakeShiftingHotSet(kCount, kFootprint, kFootprint / 10, kCount / 50,
+                                     kFootprint / 20, 1);
+  const size_t cap = kFootprint / 8;
+  EXPECT_GT(LruRate(t, cap), LfuRate(t, cap));
+}
+
+TEST(SyntheticTest, ScansPoisonLruButNotLfu) {
+  // Scan bursts of exactly cache size: each burst wipes an LRU cache
+  // completely but only displaces the low-frequency fraction of an LFU one.
+  const size_t cap = kFootprint / 10;
+  const Trace with_scans =
+      MakeZipfWithScans(kCount, kFootprint, 0.99, kCount / 20, cap, 1);
+  const Trace without = MakeStationaryZipf(kCount, kFootprint, 0.99, 1);
+  const double lru_drop = LruRate(without, cap) - LruRate(with_scans, cap);
+  const double lfu_drop = LfuRate(without, cap) - LfuRate(with_scans, cap);
+  EXPECT_GT(lru_drop, lfu_drop) << "scans must hurt LRU more than LFU";
+}
+
+TEST(SyntheticTest, ChangingWorkloadAlternatesAffinity) {
+  const Trace t = MakeChangingWorkload(4, kCount / 4, kFootprint, 1);
+  EXPECT_EQ(t.size(), kCount);
+  // Phase 0 (stationary) must be LFU-friendly, phase 1 (drift) LRU-friendly.
+  const Trace phase0(t.begin(), t.begin() + kCount / 4);
+  const Trace phase1(t.begin() + kCount / 4, t.begin() + kCount / 2);
+  const size_t cap = kFootprint / 10;
+  EXPECT_GT(LfuRate(phase0, cap), LruRate(phase0, cap));
+  EXPECT_GT(LruRate(phase1, cap), LfuRate(phase1, cap));
+}
+
+TEST(SyntheticTest, NamedFamiliesAllGenerate) {
+  for (const std::string& name : NamedTraceFamilies()) {
+    const Trace t = MakeNamedTrace(name, 50000, 5000, 1);
+    EXPECT_EQ(t.size(), 50000u) << name;
+    EXPECT_GT(Footprint(t), 1000u) << name;
+  }
+}
+
+TEST(SyntheticTest, TwitterStorageVsTransientAffinitiesDiffer) {
+  const Trace storage = MakeNamedTrace("twitter-storage", kCount, kFootprint, 1);
+  const Trace transient = MakeNamedTrace("twitter-transient", kCount, kFootprint, 1);
+  const size_t cap = kFootprint / 8;
+  // Storage: stable popularity -> LFU wins. Transient: churn -> LRU wins.
+  EXPECT_GT(LfuRate(storage, cap), LruRate(storage, cap));
+  EXPECT_GT(LruRate(transient, cap), LfuRate(transient, cap));
+}
+
+TEST(SyntheticTest, SuiteWorkloadsSpanTheSpectrum) {
+  int lru_wins = 0;
+  int lfu_wins = 0;
+  for (int i = 0; i < 16; ++i) {
+    const Trace t = MakeSuiteWorkload(i, 60000, 6000, 1);
+    const size_t cap = 600;
+    if (LruRate(t, cap) > LfuRate(t, cap)) {
+      lru_wins++;
+    } else {
+      lfu_wins++;
+    }
+  }
+  EXPECT_GT(lru_wins, 0) << "the suite must contain LRU-friendly workloads";
+  EXPECT_GT(lfu_wins, 0) << "the suite must contain LFU-friendly workloads";
+}
+
+TEST(SyntheticTest, DeterministicForSeed) {
+  const Trace a = MakeNamedTrace("webmail", 10000, 1000, 9);
+  const Trace b = MakeNamedTrace("webmail", 10000, 1000, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].key, b[i].key);
+  }
+}
+
+}  // namespace
+}  // namespace ditto::workload
