@@ -17,6 +17,7 @@
 #include "baselines/shard_lru.h"
 #include "common/flags.h"
 #include "core/ditto_client.h"
+#include "core/sharded_client.h"
 #include "dm/pool.h"
 #include "sim/adapters.h"
 #include "sim/runner.h"
@@ -89,6 +90,37 @@ inline DittoDeployment MakeDitto(const dm::PoolConfig& pool_config,
   d.pool = std::make_unique<dm::MemoryPool>(pool_config);
   d.server = std::make_unique<core::DittoServer>(d.pool.get(), config);
   d.Resize(num_clients, config);
+  return d;
+}
+
+// A sharded-engine deployment for sim::RunTraceSharded: one memory node,
+// server, context, and Ditto client per shard, so every shard's cache state
+// (and virtual-time accounting) is private to the worker thread driving it.
+struct ShardedEngineDeployment {
+  std::unique_ptr<core::ShardedPool> pool;
+  std::vector<std::unique_ptr<core::DittoServer>> servers;
+  std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+  std::vector<std::unique_ptr<sim::DittoCacheClient>> shards;
+  std::vector<sim::CacheClient*> raw;
+  std::vector<rdma::RemoteNode*> nodes;
+};
+
+inline ShardedEngineDeployment MakeShardedEngine(const dm::PoolConfig& per_node_config,
+                                                 const core::DittoConfig& config,
+                                                 int num_shards) {
+  ShardedEngineDeployment d;
+  // The pool's own key routing (NodeFor) is unused here: every client is
+  // bound directly to its node, and RunTraceSharded's dispatcher routes
+  // requests with sim::ShardForKey(options.partition_seed).
+  d.pool = std::make_unique<core::ShardedPool>(per_node_config, num_shards);
+  for (int i = 0; i < num_shards; ++i) {
+    d.servers.push_back(std::make_unique<core::DittoServer>(&d.pool->node(i), config));
+    d.ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+    d.shards.push_back(
+        std::make_unique<sim::DittoCacheClient>(&d.pool->node(i), d.ctxs.back().get(), config));
+    d.raw.push_back(d.shards.back().get());
+    d.nodes.push_back(&d.pool->node(i).node());
+  }
   return d;
 }
 

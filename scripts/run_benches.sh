@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Builds Release and runs every fig* bench (plus the sharded-engine sweep),
+# capturing each bench's stdout under bench/out/ and writing a JSON manifest
+# (name, exit code, wall seconds, output path) to bench/out/summary.json —
+# the seed of the repo's performance trajectory across PRs.
+#
+# Usage: scripts/run_benches.sh [--scale=N]
+# Extra args are forwarded to every bench binary.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-bench"
+out_dir="${repo_root}/bench/out"
+mkdir -p "${out_dir}"
+
+cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
+      -DDITTO_BUILD_TESTS=OFF >/dev/null
+cmake --build "${build_dir}" -j "$(nproc)" >/dev/null
+
+summary="${out_dir}/summary.json"
+echo "[" > "${summary}"
+first=1
+
+for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine; do
+  [ -x "${bench}" ] || continue
+  name="$(basename "${bench}")"
+  out_file="${out_dir}/${name}.txt"
+  echo ">> ${name}"
+  start="$(date +%s.%N)"
+  status=0
+  "${bench}" "$@" > "${out_file}" 2>&1 || status=$?
+  end="$(date +%s.%N)"
+  seconds="$(echo "${end} ${start}" | awk '{printf "%.2f", $1 - $2}')"
+  [ "${first}" -eq 1 ] || echo "," >> "${summary}"
+  first=0
+  printf '  {"bench": "%s", "exit_code": %d, "seconds": %s, "output": "bench/out/%s.txt"}' \
+         "${name}" "${status}" "${seconds}" "${name}" >> "${summary}"
+  if [ "${status}" -ne 0 ]; then
+    echo "   FAILED (exit ${status}) — see ${out_file}"
+  fi
+done
+
+echo >> "${summary}"
+echo "]" >> "${summary}"
+echo "wrote ${summary}"

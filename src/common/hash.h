@@ -38,6 +38,15 @@ inline uint64_t HashBytes(const void* data, size_t len) {
 
 inline uint64_t HashKey(std::string_view key) { return HashBytes(key.data(), key.size()); }
 
+// Seeded partition of a 64-bit key or hash into n buckets. The single mixing
+// formula shared by ShardedPool::NodeFor (over string-key hashes) and the
+// concurrent runner's sim::ShardForKey (over raw integer trace keys); note
+// the two call sites hash different domains, so their partitions are not
+// interchangeable even at the same seed.
+constexpr uint32_t SeededPartition(uint64_t h, size_t n, uint64_t seed) {
+  return static_cast<uint32_t>(Mix64(h ^ (seed * 0x9e3779b97f4a7c15ULL)) % n);
+}
+
 // 1-byte fingerprint stored in hash-table slots; never zero so that zero can
 // mean "empty".
 inline uint8_t Fingerprint(uint64_t hash) {

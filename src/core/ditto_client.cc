@@ -541,6 +541,7 @@ bool DittoClient::Delete(std::string_view key) {
 void DittoClient::FlushBuffers() {
   fc_->FlushAll();
   adaptive_->Flush();
+  verbs_.FlushBatch();
 }
 
 void DittoClient::ChargeExternalHistoryInsert() {

@@ -99,8 +99,12 @@ class DittoClient {
   // Removes key. Returns true if it was cached.
   bool Delete(std::string_view key);
 
-  // Flushes client-side buffers (FC cache deltas, pending penalties).
+  // Flushes client-side buffers (FC cache deltas, pending penalties, the
+  // doorbell-batched verb chain).
   void FlushBuffers();
+
+  // Doorbell-batches async metadata verbs every `ops` posts (0 disables).
+  void SetBatchOps(size_t ops) { verbs_.SetBatchOps(ops); }
 
   const DittoStats& stats() const { return stats_; }
   DittoStats& mutable_stats() { return stats_; }

@@ -4,7 +4,9 @@
 
 namespace ditto::core {
 
-ShardedPool::ShardedPool(const dm::PoolConfig& per_node_config, int nodes) {
+ShardedPool::ShardedPool(const dm::PoolConfig& per_node_config, int nodes,
+                         uint64_t partition_seed)
+    : partition_seed_(partition_seed) {
   pools_.reserve(nodes);
   for (int i = 0; i < nodes; ++i) {
     pools_.push_back(std::make_unique<dm::MemoryPool>(per_node_config));
@@ -56,6 +58,12 @@ bool ShardedDittoClient::Delete(std::string_view key) { return Route(key).Delete
 void ShardedDittoClient::FlushBuffers() {
   for (const auto& client : clients_) {
     client->FlushBuffers();
+  }
+}
+
+void ShardedDittoClient::SetBatchOps(size_t ops) {
+  for (const auto& client : clients_) {
+    client->SetBatchOps(ops);
   }
 }
 

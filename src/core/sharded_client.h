@@ -14,22 +14,34 @@
 #include <memory>
 #include <vector>
 
+#include "common/hash.h"
 #include "core/ditto_client.h"
 #include "dm/pool.h"
 
 namespace ditto::core {
 
+// ShardedPool is immutable after construction (nodes are created in the
+// constructor and only ever read), so concurrent client threads may share
+// one instance; all mutable state lives in the per-node MemoryPools, whose
+// arenas/controllers are themselves thread-safe.
 class ShardedPool {
  public:
   // Creates `nodes` memory nodes, each with the given per-node config.
-  // capacity_objects in the config is interpreted PER NODE.
-  ShardedPool(const dm::PoolConfig& per_node_config, int nodes);
+  // capacity_objects in the config is interpreted PER NODE. A non-zero
+  // partition_seed switches key routing to a seeded mix of the full hash,
+  // giving reshufflable (and better-spread) partitions; 0 keeps the legacy
+  // high-bit routing.
+  ShardedPool(const dm::PoolConfig& per_node_config, int nodes, uint64_t partition_seed = 0);
 
   int num_nodes() const { return static_cast<int>(pools_.size()); }
   dm::MemoryPool& node(int i) { return *pools_[i]; }
+  uint64_t partition_seed() const { return partition_seed_; }
 
   // Which node a key hash routes to.
   int NodeFor(uint64_t hash) const {
+    if (partition_seed_ != 0) {
+      return static_cast<int>(SeededPartition(hash, pools_.size(), partition_seed_));
+    }
     // Use high bits: the low bits already pick the bucket within a node.
     return static_cast<int>((hash >> 48) % pools_.size());
   }
@@ -39,6 +51,7 @@ class ShardedPool {
 
  private:
   std::vector<std::unique_ptr<dm::MemoryPool>> pools_;
+  uint64_t partition_seed_;
 };
 
 // Host-side server state for every node of a sharded pool.
@@ -58,6 +71,8 @@ class ShardedDittoClient {
   void Set(std::string_view key, std::string_view value);
   bool Delete(std::string_view key);
   void FlushBuffers();
+  // Doorbell-batches async metadata verbs on every per-node QP.
+  void SetBatchOps(size_t ops);
 
   // Aggregated statistics across the per-node clients.
   DittoStats stats() const;

@@ -11,6 +11,14 @@
 // weak controller hands out coarse segments via an ALLOC RPC; clients carve
 // 64-byte block runs out of their segments and recycle freed runs through
 // per-run-length lock-free freelists that live in remote memory.
+//
+// Thread safety: a MemoryPool may be shared by concurrent client threads
+// (one ClientContext per thread), as the concurrent sharded engine and
+// multi-threaded ShardedDittoClient deployments require. The arena is an
+// array of atomic cells, segment allocation is serialized by alloc_mu_, RPC
+// dispatch by the node's handler mutex, and all counters are atomics; this
+// contract is exercised under ThreadSanitizer by
+// tests/concurrent_runner_test.cc.
 #ifndef DITTO_DM_POOL_H_
 #define DITTO_DM_POOL_H_
 

@@ -54,17 +54,17 @@ class CachePolicy {
 
   // Called on every access (Get hit or Set) before extension words are
   // written back. Default algorithms need no extension state.
-  virtual void Update(Metadata& m) const {}
+  virtual void Update(Metadata& /*m*/) const {}
 
   // Called when the object is first inserted.
-  virtual void OnInsert(Metadata& m) const {}
+  virtual void OnInsert(Metadata& /*m*/) const {}
 
   // Number of extension words this algorithm persists with each object.
   virtual int extension_words() const { return 0; }
 
   // Called when an object chosen by this policy is evicted; lets
   // inflation-based algorithms (GDS family) advance their aging value L.
-  virtual void OnEvict(const Metadata& victim) const {}
+  virtual void OnEvict(const Metadata& /*victim*/) const {}
 };
 
 // Creates a policy by name. Known names: lru, lfu, mru, fifo, size, gds,

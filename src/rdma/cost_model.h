@@ -21,6 +21,11 @@ struct CostModel {
   // not wait for the completion, only pays the doorbell cost.
   double async_post_us = 0.2;
 
+  // Doorbell batching: a chain of async WQEs posted with a single doorbell
+  // pays async_post_us once plus this marginal cost per additional WQE
+  // (building the WQE in the send queue is far cheaper than the MMIO ring).
+  double batched_wqe_us = 0.02;
+
   // Payload bandwidth: 100 Gbps ~ 12.5 GB/s -> 12500 bytes/us.
   double bytes_per_us = 12500.0;
 

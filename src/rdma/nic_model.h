@@ -51,7 +51,12 @@ class NicModel {
 
   void ChargeBytes(uint64_t n) { bytes_.fetch_add(n, std::memory_order_relaxed); }
 
+  // Counts one doorbell (MMIO ring). Unbatched posts ring once per verb;
+  // doorbell-batched chains ring once per flush.
+  void CountDoorbell() { doorbells_.fetch_add(1, std::memory_order_relaxed); }
+
   uint64_t messages() const { return messages_.load(std::memory_order_relaxed); }
+  uint64_t doorbells() const { return doorbells_.load(std::memory_order_relaxed); }
   uint64_t bytes() const { return bytes_.load(std::memory_order_relaxed); }
   // Serial completion horizon of the NIC, a lower bound on elapsed time.
   uint64_t busy_horizon_ns() const { return server_.next_free_ns(); }
@@ -59,6 +64,7 @@ class NicModel {
   void Reset() {
     server_.Reset();
     messages_.store(0, std::memory_order_relaxed);
+    doorbells_.store(0, std::memory_order_relaxed);
     bytes_.store(0, std::memory_order_relaxed);
   }
 
@@ -66,6 +72,7 @@ class NicModel {
   CostModel cost_;
   QueueingServer server_;
   std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> doorbells_{0};
   std::atomic<uint64_t> bytes_{0};
 };
 

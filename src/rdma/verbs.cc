@@ -1,10 +1,13 @@
 #include "rdma/verbs.h"
 
+#include <algorithm>
+
 namespace ditto::rdma {
 
 void Verbs::ChargeSync(double rtt_us, double msg_cost, size_t bytes) {
   const CostModel& cost = node_->cost();
   node_->nic().ChargeBytes(bytes);
+  node_->nic().CountDoorbell();
   const uint64_t queue_ns = node_->nic().ChargeMessage(ctx_->now_ns(), msg_cost);
   if (!cost.enabled) {
     return;
@@ -16,11 +19,57 @@ void Verbs::ChargeSync(double rtt_us, double msg_cost, size_t bytes) {
 void Verbs::ChargeAsync(double msg_cost, size_t bytes) {
   const CostModel& cost = node_->cost();
   node_->nic().ChargeBytes(bytes);
+  node_->nic().CountDoorbell();
   node_->nic().ChargeMessage(ctx_->now_ns(), msg_cost);
   if (!cost.enabled) {
     return;
   }
   ctx_->clock().AdvanceUs(cost.async_post_us);
+}
+
+void Verbs::SetBatchOps(size_t max_pending) {
+  // Reconfiguring the chain always drains it, so callers can use this at a
+  // measurement boundary to keep deferred costs out of the next window.
+  FlushBatch();
+  batch_max_ = max_pending;
+}
+
+void Verbs::EnqueueBatched(uint8_t kind, uint64_t addr, uint32_t bytes) {
+  ++batch_posts_;
+  for (PendingOp& op : pending_) {
+    if (op.kind == kind && op.addr == addr) {
+      // A later post to the same address supersedes the earlier one on the
+      // wire (memory effects were already applied in program order).
+      op.bytes = std::max(op.bytes, bytes);
+      if (batch_posts_ >= batch_max_) {
+        FlushBatch();
+      }
+      return;
+    }
+  }
+  pending_.push_back(PendingOp{kind, addr, bytes});
+  if (batch_posts_ >= batch_max_) {
+    FlushBatch();
+  }
+}
+
+void Verbs::FlushBatch() {
+  batch_posts_ = 0;
+  if (pending_.empty()) {
+    return;
+  }
+  const CostModel& cost = node_->cost();
+  node_->nic().CountDoorbell();
+  for (const PendingOp& op : pending_) {
+    const double msg_cost = op.kind == 0 ? 1.0 : cost.atomic_msg_cost;
+    node_->nic().ChargeBytes(op.bytes);
+    node_->nic().ChargeMessage(ctx_->now_ns(), msg_cost);
+  }
+  if (cost.enabled) {
+    ctx_->clock().AdvanceUs(cost.async_post_us +
+                            cost.batched_wqe_us * static_cast<double>(pending_.size() - 1));
+  }
+  pending_.clear();
 }
 
 void Verbs::Read(uint64_t addr, void* dst, size_t len) {
@@ -38,6 +87,10 @@ void Verbs::Write(uint64_t addr, const void* src, size_t len) {
 void Verbs::WriteAsync(uint64_t addr, const void* src, size_t len) {
   node_->arena().Write(addr, src, len);
   ctx_->writes++;
+  if (batch_max_ > 0) {
+    EnqueueBatched(/*kind=*/0, addr, static_cast<uint32_t>(len));
+    return;
+  }
   ChargeAsync(1.0, len);
 }
 
@@ -58,6 +111,10 @@ uint64_t Verbs::FetchAdd(uint64_t addr, uint64_t delta) {
 void Verbs::FetchAddAsync(uint64_t addr, uint64_t delta) {
   node_->arena().FetchAdd(addr, delta);
   ctx_->atomics++;
+  if (batch_max_ > 0) {
+    EnqueueBatched(/*kind=*/1, addr, 8);
+    return;
+  }
   ChargeAsync(node_->cost().atomic_msg_cost, 8);
 }
 
@@ -67,7 +124,8 @@ std::string Verbs::Rpc(uint32_t handler_id, std::string_view request, double ser
     service_us = cost.rpc_service_us;
   }
   ctx_->rpcs++;
-  // Request and response messages.
+  // Request and response messages; one doorbell for the send WQE.
+  node_->nic().CountDoorbell();
   node_->nic().ChargeBytes(request.size());
   const uint64_t nic_queue_ns = node_->nic().ChargeMessage(ctx_->now_ns(), 1.0);
   node_->nic().ChargeMessage(ctx_->now_ns(), 1.0);

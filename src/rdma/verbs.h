@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "rdma/node.h"
 
@@ -44,12 +45,34 @@ class Verbs {
   // 500us miss penalty) without touching the network.
   void Sleep(double us) { ctx_->clock().AdvanceUs(us); }
 
+  // Doorbell batching of asynchronous verbs. When enabled (max_pending > 0),
+  // async WRITE/FAA posts apply their memory effect immediately (and still
+  // count as posted WQEs on the context) but their network cost is deferred
+  // into a pending chain on a dedicated metadata QP; posts to the same
+  // address coalesce into one wire message. The chain is flushed — one
+  // doorbell, one NIC message per distinct (kind, address) — when it
+  // accumulates max_pending posts or on an explicit FlushBatch(). Batched
+  // message count therefore never exceeds the unbatched count.
+  void SetBatchOps(size_t max_pending);
+  void FlushBatch();
+  size_t batch_pending() const { return pending_.size(); }
+
  private:
+  struct PendingOp {
+    uint8_t kind;  // 0 = WRITE, 1 = atomic (FAA)
+    uint64_t addr;
+    uint32_t bytes;
+  };
+
   void ChargeSync(double rtt_us, double msg_cost, size_t bytes);
   void ChargeAsync(double msg_cost, size_t bytes);
+  void EnqueueBatched(uint8_t kind, uint64_t addr, uint32_t bytes);
 
   RemoteNode* node_;
   ClientContext* ctx_;
+  size_t batch_max_ = 0;    // 0 = batching disabled
+  uint64_t batch_posts_ = 0;  // raw WQEs in the current chain (pre-merge)
+  std::vector<PendingOp> pending_;
 };
 
 }  // namespace ditto::rdma

@@ -33,6 +33,8 @@ class DittoCacheClient : public CacheClient {
     ctx_->op_hist().Reset();
   }
 
+  void SetBatchOps(size_t ops) override { client_.SetBatchOps(ops); }
+
   core::DittoClient& ditto() { return client_; }
 
  private:
@@ -63,6 +65,8 @@ class ShardedDittoCacheClient : public CacheClient {
     client_.ResetStats();
     ctx_->op_hist().Reset();
   }
+
+  void SetBatchOps(size_t ops) override { client_.SetBatchOps(ops); }
 
   core::ShardedDittoClient& sharded() { return client_; }
 

@@ -32,6 +32,9 @@ class CacheClient {
   virtual void Finish() {}
   // Clears counters/latency at the warmup/measurement boundary.
   virtual void ResetForMeasurement() = 0;
+  // Enables doorbell batching of async metadata verbs every `ops` posts
+  // (0 disables). Clients without batching support ignore it.
+  virtual void SetBatchOps(size_t ops) { (void)ops; }
 };
 
 }  // namespace ditto::sim

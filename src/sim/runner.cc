@@ -1,10 +1,14 @@
 #include "sim/runner.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <thread>
 
+#include "common/hash.h"
 #include "common/rand.h"
 #include "rdma/verbs.h"
+#include "sim/spsc_queue.h"
 
 namespace ditto::sim {
 
@@ -80,71 +84,69 @@ void ReplayInterleaved(const std::vector<CacheClient*>& clients, const workload:
   }
 }
 
-}  // namespace
+// Snapshot of per-client busy time and per-node horizons taken at the
+// warmup/measurement boundary; shared by the interleaved and the sharded
+// engine.
+struct MeasureBaseline {
+  std::vector<uint64_t> busy_before;
+  std::vector<uint64_t> nic_before;
+  std::vector<uint64_t> cpu_before;
+  uint64_t nic_msgs_before = 0;
+  uint64_t nic_doorbells_before = 0;
+  uint64_t rpc_before = 0;
+};
 
-RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
-                   rdma::RemoteNode* node, const RunOptions& options) {
-  return RunTrace(clients, trace, std::vector<rdma::RemoteNode*>{node}, options);
+MeasureBaseline BeginMeasurement(const std::vector<CacheClient*>& clients,
+                                 const std::vector<rdma::RemoteNode*>& nodes) {
+  MeasureBaseline base;
+  base.busy_before.resize(clients.size());
+  for (size_t c = 0; c < clients.size(); ++c) {
+    clients[c]->ResetForMeasurement();
+    base.busy_before[c] = clients[c]->ctx().clock().busy_ns();
+  }
+  base.nic_before.resize(nodes.size());
+  base.cpu_before.resize(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    base.nic_before[i] = nodes[i]->nic().busy_horizon_ns();
+    base.cpu_before[i] = nodes[i]->cpu().busy_horizon_ns();
+    base.nic_msgs_before += nodes[i]->nic().messages();
+    base.nic_doorbells_before += nodes[i]->nic().doorbells();
+    base.rpc_before += nodes[i]->cpu().ops();
+  }
+  return base;
 }
 
-RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
-                   const std::vector<rdma::RemoteNode*>& nodes, const RunOptions& options) {
-  const size_t num_clients = clients.size();
-
-  size_t measure_begin = 0;
-  if (options.warmup_fraction > 0.0) {
-    measure_begin =
-        static_cast<size_t>(options.warmup_fraction * static_cast<double>(trace.size()));
-    ReplayInterleaved(clients, trace, 0, measure_begin, options);
-  }
-
-  std::vector<uint64_t> busy_before(num_clients);
-  for (size_t c = 0; c < num_clients; ++c) {
-    clients[c]->ResetForMeasurement();
-    busy_before[c] = clients[c]->ctx().clock().busy_ns();
-  }
-  std::vector<uint64_t> nic_before(nodes.size());
-  std::vector<uint64_t> cpu_before(nodes.size());
-  uint64_t nic_msgs_before = 0;
-  uint64_t rpc_before = 0;
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    nic_before[i] = nodes[i]->nic().busy_horizon_ns();
-    cpu_before[i] = nodes[i]->cpu().busy_horizon_ns();
-    nic_msgs_before += nodes[i]->nic().messages();
-    rpc_before += nodes[i]->cpu().ops();
-  }
-
-  ReplayInterleaved(clients, trace, measure_begin, trace.size(), options);
-  for (CacheClient* client : clients) {
-    client->Finish();
-  }
-
+RunResult FinishMeasurement(const std::vector<CacheClient*>& clients,
+                            const std::vector<rdma::RemoteNode*>& nodes,
+                            const MeasureBaseline& base, uint64_t measured_ops) {
   RunResult result;
   Histogram merged;
   uint64_t sum_busy_delta = 0;
-  for (size_t c = 0; c < num_clients; ++c) {
+  for (size_t c = 0; c < clients.size(); ++c) {
     const ClientCounters counters = clients[c]->counters();
     result.gets += counters.gets;
     result.hits += counters.hits;
     result.misses += counters.misses;
     result.sets += counters.sets;
     merged.Merge(clients[c]->ctx().op_hist());
-    sum_busy_delta += clients[c]->ctx().clock().busy_ns() - busy_before[c];
+    sum_busy_delta += clients[c]->ctx().clock().busy_ns() - base.busy_before[c];
   }
-  result.ops = trace.size() - measure_begin;
+  result.ops = measured_ops;
   // Mean per-client busy time models the paper's fixed-duration runs (all
   // clients execute for the same wall time; miss-prone clients simply finish
   // fewer requests), avoiding a fixed-work straggler bias.
-  const uint64_t mean_busy_delta = sum_busy_delta / std::max<size_t>(num_clients, 1);
+  const uint64_t mean_busy_delta = sum_busy_delta / std::max<size_t>(clients.size(), 1);
   uint64_t elapsed_ns = std::max(mean_busy_delta, uint64_t{1});
   uint64_t nic_msgs_after = 0;
+  uint64_t nic_doorbells_after = 0;
   uint64_t rpc_after = 0;
   for (size_t i = 0; i < nodes.size(); ++i) {
     const uint64_t nic_h = nodes[i]->nic().busy_horizon_ns();
     const uint64_t cpu_h = nodes[i]->cpu().busy_horizon_ns();
-    elapsed_ns = std::max(elapsed_ns, nic_h > nic_before[i] ? nic_h - nic_before[i] : 0);
-    elapsed_ns = std::max(elapsed_ns, cpu_h > cpu_before[i] ? cpu_h - cpu_before[i] : 0);
+    elapsed_ns = std::max(elapsed_ns, nic_h > base.nic_before[i] ? nic_h - base.nic_before[i] : 0);
+    elapsed_ns = std::max(elapsed_ns, cpu_h > base.cpu_before[i] ? cpu_h - base.cpu_before[i] : 0);
     nic_msgs_after += nodes[i]->nic().messages();
+    nic_doorbells_after += nodes[i]->nic().doorbells();
     rpc_after += nodes[i]->cpu().ops();
   }
   result.elapsed_s = static_cast<double>(elapsed_ns) / 1e9;
@@ -154,9 +156,139 @@ RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Tra
                         : static_cast<double>(result.hits) / static_cast<double>(result.gets);
   result.p50_us = merged.PercentileUs(50);
   result.p99_us = merged.PercentileUs(99);
-  result.nic_messages = nic_msgs_after - nic_msgs_before;
-  result.rpc_ops = rpc_after - rpc_before;
+  result.nic_messages = nic_msgs_after - base.nic_msgs_before;
+  result.nic_doorbells = nic_doorbells_after - base.nic_doorbells_before;
+  result.rpc_ops = rpc_after - base.rpc_before;
   return result;
+}
+
+// One phase (warmup or measurement) of the concurrent sharded engine: a
+// dispatcher (the calling thread) routes trace[begin, end) to per-shard SPSC
+// queues by seeded key hash; worker t drains the queues of shards t, t+T,
+// t+2T, ... Each shard's requests execute in trace order on its dedicated
+// worker, so per-shard behaviour cannot depend on the thread count.
+void ReplaySharded(const std::vector<CacheClient*>& shards, const workload::Trace& trace,
+                   size_t begin, size_t end, const RunOptions& options) {
+  const size_t num_shards = shards.size();
+  const int num_workers =
+      std::max(1, std::min<int>(options.threads, static_cast<int>(num_shards)));
+  const std::string value(std::max(options.value_bytes, options.value_bytes_max), 'v');
+
+  std::vector<std::unique_ptr<SpscQueue<uint32_t>>> queues;
+  queues.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    queues.push_back(std::make_unique<SpscQueue<uint32_t>>(1024));
+  }
+  std::atomic<bool> dispatch_done{false};
+
+  std::vector<std::thread> workers;
+  workers.reserve(num_workers);
+  for (int t = 0; t < num_workers; ++t) {
+    workers.emplace_back([&, t] {
+      constexpr int kDrainBurst = 64;
+      while (true) {
+        bool made_progress = false;
+        for (size_t s = static_cast<size_t>(t); s < num_shards;
+             s += static_cast<size_t>(num_workers)) {
+          uint32_t idx;
+          for (int n = 0; n < kDrainBurst && queues[s]->TryPop(&idx); ++n) {
+            ExecuteRequest(shards[s], trace[idx], options, value);
+            made_progress = true;
+          }
+        }
+        if (made_progress) {
+          continue;
+        }
+        if (dispatch_done.load(std::memory_order_acquire)) {
+          bool drained = true;
+          for (size_t s = static_cast<size_t>(t); s < num_shards;
+               s += static_cast<size_t>(num_workers)) {
+            drained = drained && queues[s]->Empty();
+          }
+          if (drained) {
+            return;
+          }
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t s = ShardForKey(trace[i].key, num_shards, options.partition_seed);
+    while (!queues[s]->TryPush(static_cast<uint32_t>(i))) {
+      std::this_thread::yield();
+    }
+  }
+  dispatch_done.store(true, std::memory_order_release);
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+}
+
+}  // namespace
+
+uint32_t ShardForKey(uint64_t key, size_t num_shards, uint64_t seed) {
+  return SeededPartition(key, num_shards, seed);
+}
+
+RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
+                   rdma::RemoteNode* node, const RunOptions& options) {
+  return RunTrace(clients, trace, std::vector<rdma::RemoteNode*>{node}, options);
+}
+
+RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
+                   const std::vector<rdma::RemoteNode*>& nodes, const RunOptions& options) {
+  for (CacheClient* client : clients) {
+    client->SetBatchOps(options.batch_ops);
+  }
+
+  size_t measure_begin = 0;
+  if (options.warmup_fraction > 0.0) {
+    measure_begin =
+        static_cast<size_t>(options.warmup_fraction * static_cast<double>(trace.size()));
+    ReplayInterleaved(clients, trace, 0, measure_begin, options);
+    for (CacheClient* client : clients) {
+      // Drain doorbell chains pending from warmup so their deferred costs
+      // are charged before the measurement baseline is snapshotted.
+      client->SetBatchOps(options.batch_ops);
+    }
+  }
+
+  const MeasureBaseline base = BeginMeasurement(clients, nodes);
+  ReplayInterleaved(clients, trace, measure_begin, trace.size(), options);
+  for (CacheClient* client : clients) {
+    client->Finish();
+  }
+  return FinishMeasurement(clients, nodes, base, trace.size() - measure_begin);
+}
+
+RunResult RunTraceSharded(const std::vector<CacheClient*>& shards, const workload::Trace& trace,
+                          const std::vector<rdma::RemoteNode*>& nodes,
+                          const RunOptions& options) {
+  for (CacheClient* shard : shards) {
+    shard->SetBatchOps(options.batch_ops);
+  }
+
+  size_t measure_begin = 0;
+  if (options.warmup_fraction > 0.0) {
+    measure_begin =
+        static_cast<size_t>(options.warmup_fraction * static_cast<double>(trace.size()));
+    ReplaySharded(shards, trace, 0, measure_begin, options);
+    for (CacheClient* shard : shards) {
+      // Drain doorbell chains pending from warmup so their deferred costs
+      // are charged before the measurement baseline is snapshotted.
+      shard->SetBatchOps(options.batch_ops);
+    }
+  }
+
+  const MeasureBaseline base = BeginMeasurement(shards, nodes);
+  ReplaySharded(shards, trace, measure_begin, trace.size(), options);
+  for (CacheClient* shard : shards) {
+    shard->Finish();
+  }
+  return FinishMeasurement(shards, nodes, base, trace.size() - measure_begin);
 }
 
 std::string FormatResult(const std::string& label, const RunResult& r) {

@@ -34,6 +34,13 @@ struct RunOptions {
   // Fraction of each client's shard replayed as warmup (not measured).
   double warmup_fraction = 0.0;
 
+  // Concurrent sharded engine (RunTraceSharded) knobs.
+  int threads = 1;               // host worker threads driving the shards
+  uint64_t partition_seed = 1;   // seeds the key -> shard partition
+  // When > 0, every client doorbell-batches its async metadata verbs with a
+  // chain of this many posts (duplicate addresses coalesce on the wire).
+  size_t batch_ops = 0;
+
   size_t ValueBytesFor(uint64_t key) const;
 };
 
@@ -49,6 +56,7 @@ struct RunResult {
   uint64_t gets = 0;
   uint64_t sets = 0;
   uint64_t nic_messages = 0;
+  uint64_t nic_doorbells = 0;
   uint64_t rpc_ops = 0;
 };
 
@@ -61,6 +69,26 @@ RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Tra
 // and controller-CPU horizon.
 RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
                    const std::vector<rdma::RemoteNode*>& nodes, const RunOptions& options);
+
+// Deterministic seeded key -> shard partition of the concurrent engine.
+uint32_t ShardForKey(uint64_t key, size_t num_shards, uint64_t seed);
+
+// Concurrent sharded replay on real host threads. shards[s] owns key
+// partition s (ShardForKey with options.partition_seed) with shard-private
+// cache state; requests are routed by key through per-shard lock-free SPSC
+// queues fed by a single dispatcher, and options.threads workers each drive
+// a static subset of the shards (shard s -> worker s % threads).
+//
+// Because every shard's request stream and cache state are thread-private,
+// the per-shard access order — and therefore hits/misses/evictions — is
+// independent of the thread count: a fixed (trace, seed) pair produces
+// identical hit rates for any options.threads. When each shard also has its
+// own memory node (nodes[s], the intended deployment), the virtual-time
+// accounting is thread-private too and the whole RunResult is reproducible
+// bit-for-bit. Shards must not share mutable cache state.
+RunResult RunTraceSharded(const std::vector<CacheClient*>& shards, const workload::Trace& trace,
+                          const std::vector<rdma::RemoteNode*>& nodes,
+                          const RunOptions& options);
 
 // Convenience: formats a result row.
 std::string FormatResult(const std::string& label, const RunResult& r);

@@ -1,0 +1,76 @@
+// Bounded lock-free single-producer/single-consumer ring buffer, the
+// request queue between the concurrent runner's dispatcher (producer) and a
+// shard's worker thread (consumer). Classic two-index design with cached
+// peer indices so the fast path touches only one cache line per side.
+#ifndef DITTO_SIM_SPSC_QUEUE_H_
+#define DITTO_SIM_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace ditto::sim {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2).
+  explicit SpscQueue(size_t capacity) {
+    size_t cap = 2;
+    while (cap < capacity) {
+      cap *= 2;
+    }
+    capacity_ = cap;
+    mask_ = cap - 1;
+    slots_ = std::make_unique<T[]>(cap);
+  }
+
+  // Producer side. Returns false when the ring is full.
+  bool TryPush(const T& value) {
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) {
+        return false;
+      }
+    }
+    slots_[tail & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) {
+        return false;
+      }
+    }
+    *out = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side: true when no pushed element remains unpopped.
+  bool Empty() const {
+    return head_.load(std::memory_order_relaxed) == tail_.load(std::memory_order_acquire);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  size_t mask_;
+  std::unique_ptr<T[]> slots_;
+
+  alignas(64) std::atomic<uint64_t> head_{0};  // next index to pop
+  alignas(64) uint64_t tail_cache_ = 0;        // consumer's view of tail_
+  alignas(64) std::atomic<uint64_t> tail_{0};  // next index to push
+  alignas(64) uint64_t head_cache_ = 0;        // producer's view of head_
+};
+
+}  // namespace ditto::sim
+
+#endif  // DITTO_SIM_SPSC_QUEUE_H_
