@@ -10,9 +10,21 @@ namespace ditto::baselines {
 namespace {
 
 struct SetRequestHeader {
-  uint16_t key_len;
   uint32_t val_len;
+  uint16_t key_len;
+  uint16_t reserved;
+  uint64_t expiry_tick;  // absolute tick; 0 = never expires
 };
+static_assert(sizeof(SetRequestHeader) == 16);
+
+// Set response: status byte + little-endian count of evictions the Set
+// caused, so clients can surface server-side eviction pressure.
+std::string SetResponse(bool ok, uint64_t evictions) {
+  std::string response(9, '\0');
+  response[0] = ok ? '\1' : '\0';
+  std::memcpy(response.data() + 1, &evictions, 8);
+  return response;
+}
 
 }  // namespace
 
@@ -26,6 +38,10 @@ CliqueMapServer::CliqueMapServer(dm::MemoryPool* pool, const CliqueMapConfig& co
   pool->RegisterRpc(kRpcCmSet, [this](std::string_view request) { return HandleSet(request); });
   pool->RegisterRpc(kRpcCmSync,
                     [this](std::string_view request) { return HandleSync(request); });
+  pool->RegisterRpc(kRpcCmDelete,
+                    [this](std::string_view request) { return HandleDelete(request); });
+  pool->RegisterRpc(kRpcCmExpire,
+                    [this](std::string_view request) { return HandleExpire(request); });
 }
 
 uint64_t CliqueMapServer::size() const {
@@ -96,32 +112,61 @@ std::string CliqueMapServer::HandleSet(std::string_view request) {
     FreeBlocksLocked(it->second.obj_addr, it->second.blocks);
     const uint64_t addr = AllocBlocksLocked(blocks);
     if (addr == 0) {
-      return std::string(1, '\0');
+      return SetResponse(false, 0);
     }
     std::vector<uint8_t> buf;
-    core::EncodeObject(key, value, nullptr, 0, &buf);
+    core::EncodeObject(key, value, nullptr, 0, &buf, header.expiry_tick);
     pool_->node().arena().Write(addr, buf.data(), buf.size());
     pool_->node().arena().WriteU64(it->second.slot_addr + ht::kAtomicOff,
                                    ht::PackAtomic(fp, static_cast<uint8_t>(blocks), addr));
     it->second.obj_addr = addr;
     it->second.blocks = blocks;
     TouchLocked(hash, 1);
-    return std::string(1, '\1');
+    return SetResponse(true, 0);
   }
 
+  uint64_t evictions = 0;
   while (index_.size() >= capacity_ && !index_.empty()) {
     EvictOneLocked();
+    evictions++;
   }
   uint64_t addr = AllocBlocksLocked(blocks);
   while (addr == 0 && !index_.empty()) {
     // Heap fragmentation/pressure: evict until an allocation fits.
     EvictOneLocked();
+    evictions++;
     addr = AllocBlocksLocked(blocks);
   }
   if (addr == 0) {
+    return SetResponse(false, evictions);
+  }
+  return FinishInsertLocked(addr, key, value, hash, fp, blocks, header.expiry_tick,
+                            &evictions);
+}
+
+std::string CliqueMapServer::HandleDelete(std::string_view request) {
+  const uint64_t hash = HashKey(request);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.count(hash) == 0) {
     return std::string(1, '\0');
   }
-  return FinishInsertLocked(addr, key, value, hash, fp, blocks);
+  EvictSpecificLocked(hash);
+  return std::string(1, '\1');
+}
+
+std::string CliqueMapServer::HandleExpire(std::string_view request) {
+  // Request: expiry_tick u64 + key bytes.
+  uint64_t expiry = 0;
+  std::memcpy(&expiry, request.data(), 8);
+  const std::string_view key = request.substr(8);
+  const uint64_t hash = HashKey(key);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(hash);
+  if (it == index_.end()) {
+    return std::string(1, '\0');
+  }
+  pool_->node().arena().WriteU64(it->second.obj_addr + core::kExpiryOff, expiry);
+  return std::string(1, '\1');
 }
 
 void CliqueMapServer::EvictSpecificLocked(uint64_t hash) {
@@ -138,9 +183,10 @@ void CliqueMapServer::EvictSpecificLocked(uint64_t hash) {
 
 std::string CliqueMapServer::FinishInsertLocked(uint64_t addr, std::string_view key,
                                                 std::string_view value, uint64_t hash,
-                                                uint8_t fp, int blocks) {
+                                                uint8_t fp, int blocks, uint64_t expiry_tick,
+                                                uint64_t* evictions) {
   std::vector<uint8_t> buf;
-  core::EncodeObject(key, value, nullptr, 0, &buf);
+  core::EncodeObject(key, value, nullptr, 0, &buf, expiry_tick);
   rdma::MemoryArena& arena = pool_->node().arena();
   arena.Write(addr, buf.data(), buf.size());
 
@@ -162,11 +208,12 @@ std::string CliqueMapServer::FinishInsertLocked(uint64_t addr, std::string_view 
       // Evict the first occupant of the bucket to make room.
       const uint64_t first_slot = pool_->table_addr() + bucket * slots * ht::kSlotBytes;
       EvictSpecificLocked(arena.ReadU64(first_slot + ht::kHashOff));
+      (*evictions)++;
     }
   }
   if (target < 0) {
     FreeBlocksLocked(addr, blocks);
-    return std::string(1, '\0');
+    return SetResponse(false, *evictions);
   }
   const uint64_t slot_addr = pool_->table_addr() + (bucket * slots + target) * ht::kSlotBytes;
   arena.WriteU64(slot_addr + ht::kHashOff, hash);
@@ -179,7 +226,7 @@ std::string CliqueMapServer::FinishInsertLocked(uint64_t addr, std::string_view 
   } else {
     lfu_.Touch(hash);
   }
-  return std::string(1, '\1');
+  return SetResponse(true, *evictions);
 }
 
 std::string CliqueMapServer::HandleSync(std::string_view request) {
@@ -200,7 +247,21 @@ CliqueMapClient::CliqueMapClient(dm::MemoryPool* pool, CliqueMapServer* server,
                                  rdma::ClientContext* ctx)
     : pool_(pool), server_(server), ctx_(ctx), verbs_(&pool->node(), ctx), table_(pool, &verbs_) {}
 
-bool CliqueMapClient::Get(std::string_view key, std::string* value) {
+void CliqueMapClient::ExecuteBatch(std::span<const sim::CacheOp> ops,
+                                   sim::CacheResult* results) {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    sim::DispatchSingleOp(
+        *ctx_, ops[i], &results[i],
+        [this](std::string_view key, std::string* value) { return DoGet(key, value); },
+        [this](std::string_view key, std::string_view value, uint64_t ttl) {
+          return DoSet(key, value, ttl);
+        },
+        [this](std::string_view key) { return DoDelete(key); },
+        [this](std::string_view key, uint64_t ttl) { return DoExpire(key, ttl); });
+  }
+}
+
+bool CliqueMapClient::DoGet(std::string_view key, std::string* value) {
   counters_.gets++;
   const uint64_t hash = HashKey(key);
   const uint8_t fp = Fingerprint(hash);
@@ -218,6 +279,14 @@ bool CliqueMapClient::Get(std::string_view key, std::string* value) {
     if (!core::DecodeObject(object_buf_.data(), bytes, &obj) || obj.key != key) {
       continue;
     }
+    if (obj.ExpiredAt(pool_->clock().Tick())) {
+      // Lazy expiry: ask the server (the only writer of its structures) to
+      // drop the dead object, then report a miss.
+      verbs_.Rpc(kRpcCmDelete, std::string(key), server_->config().set_service_us);
+      counters_.expired++;
+      counters_.misses++;
+      return false;
+    }
     if (value != nullptr) {
       value->assign(obj.value);
     }
@@ -229,14 +298,41 @@ bool CliqueMapClient::Get(std::string_view key, std::string* value) {
   return false;
 }
 
-void CliqueMapClient::Set(std::string_view key, std::string_view value) {
+bool CliqueMapClient::DoSet(std::string_view key, std::string_view value, uint64_t ttl_ticks) {
   counters_.sets++;
-  SetRequestHeader header{static_cast<uint16_t>(key.size()), static_cast<uint32_t>(value.size())};
+  SetRequestHeader header{static_cast<uint32_t>(value.size()), static_cast<uint16_t>(key.size()),
+                          0, ttl_ticks == 0 ? 0 : pool_->clock().Tick() + ttl_ticks};
   std::string request(sizeof(header) + key.size() + value.size(), '\0');
   std::memcpy(request.data(), &header, sizeof(header));
   std::memcpy(request.data() + sizeof(header), key.data(), key.size());
   std::memcpy(request.data() + sizeof(header) + key.size(), value.data(), value.size());
-  verbs_.Rpc(kRpcCmSet, request, server_->config().set_service_us);
+  const std::string response = verbs_.Rpc(kRpcCmSet, request, server_->config().set_service_us);
+  if (response.size() >= 9) {
+    uint64_t evictions = 0;
+    std::memcpy(&evictions, response.data() + 1, 8);
+    counters_.evictions += evictions;
+  }
+  return !response.empty() && response[0] == '\1';
+}
+
+bool CliqueMapClient::DoDelete(std::string_view key) {
+  const std::string response =
+      verbs_.Rpc(kRpcCmDelete, std::string(key), server_->config().set_service_us);
+  const bool deleted = !response.empty() && response[0] == '\1';
+  if (deleted) {
+    counters_.deletes++;
+  }
+  return deleted;
+}
+
+bool CliqueMapClient::DoExpire(std::string_view key, uint64_t ttl_ticks) {
+  const uint64_t expiry = ttl_ticks == 0 ? 0 : pool_->clock().Tick() + ttl_ticks;
+  std::string request(8 + key.size(), '\0');
+  std::memcpy(request.data(), &expiry, 8);
+  std::memcpy(request.data() + 8, key.data(), key.size());
+  const std::string response =
+      verbs_.Rpc(kRpcCmExpire, request, server_->config().set_service_us);
+  return !response.empty() && response[0] == '\1';
 }
 
 void CliqueMapClient::RecordAccess(uint64_t hash) {

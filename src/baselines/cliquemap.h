@@ -35,6 +35,8 @@ struct CliqueMapConfig {
 // RPC ids (distinct from the dm:: ones).
 inline constexpr uint32_t kRpcCmSet = 10;
 inline constexpr uint32_t kRpcCmSync = 11;
+inline constexpr uint32_t kRpcCmDelete = 12;
+inline constexpr uint32_t kRpcCmExpire = 13;
 
 // Host-side server. Owns the index layout inside the pool's arena (so client
 // Gets can RMA-read it) and the precise caching structure. Construct once.
@@ -50,6 +52,8 @@ class CliqueMapServer {
 
   std::string HandleSet(std::string_view request);
   std::string HandleSync(std::string_view request);
+  std::string HandleDelete(std::string_view request);
+  std::string HandleExpire(std::string_view request);
 
   // Precondition: mu_ held.
   void TouchLocked(uint64_t hash, uint64_t count);
@@ -58,7 +62,8 @@ class CliqueMapServer {
   uint64_t AllocBlocksLocked(int blocks);
   void FreeBlocksLocked(uint64_t addr, int blocks);
   std::string FinishInsertLocked(uint64_t addr, std::string_view key, std::string_view value,
-                                 uint64_t hash, uint8_t fp, int blocks);
+                                 uint64_t hash, uint8_t fp, int blocks, uint64_t expiry_tick,
+                                 uint64_t* evictions);
 
   dm::MemoryPool* pool_;
   CliqueMapConfig config_;
@@ -83,8 +88,10 @@ class CliqueMapClient : public sim::CacheClient {
  public:
   CliqueMapClient(dm::MemoryPool* pool, CliqueMapServer* server, rdma::ClientContext* ctx);
 
-  bool Get(std::string_view key, std::string* value) override;
-  void Set(std::string_view key, std::string_view value) override;
+  // Typed batch dispatch. Gets stay client-side RMA; Set/Delete/Expire are
+  // RPCs to the memory-node CPU. kMultiGet runs replay as sequential RMA
+  // lookups (the access-info sync is already client-buffered).
+  void ExecuteBatch(std::span<const sim::CacheOp> ops, sim::CacheResult* results) override;
 
   rdma::ClientContext& ctx() override { return *ctx_; }
   sim::ClientCounters counters() const override { return counters_; }
@@ -92,6 +99,12 @@ class CliqueMapClient : public sim::CacheClient {
   void ResetForMeasurement() override;
 
  private:
+  bool DoGet(std::string_view key, std::string* value);
+  // Returns false if the server dropped the store.
+  bool DoSet(std::string_view key, std::string_view value, uint64_t ttl_ticks);
+  bool DoDelete(std::string_view key);
+  bool DoExpire(std::string_view key, uint64_t ttl_ticks);
+
   void RecordAccess(uint64_t hash);
   void SyncAccessInfo();
 

@@ -79,7 +79,41 @@ void ShardLruClient::WithShardLock(uint64_t hash, const std::function<void()>& b
   verbs_.WriteAsync(dm::kFreeListBase + 16, &zero, 8);
 }
 
-bool ShardLruClient::Get(std::string_view key, std::string* value) {
+void ShardLruClient::ExecuteBatch(std::span<const sim::CacheOp> ops,
+                                  sim::CacheResult* results) {
+  for (size_t i = 0; i < ops.size(); ++i) {
+    sim::DispatchSingleOp(
+        *ctx_, ops[i], &results[i],
+        [this](std::string_view key, std::string* value) { return DoGet(key, value); },
+        [this](std::string_view key, std::string_view value, uint64_t ttl) {
+          return DoSet(key, value, ttl);
+        },
+        [this](std::string_view key) { return DoDelete(key); },
+        [this](std::string_view key, uint64_t ttl) { return DoExpire(key, ttl); });
+  }
+}
+
+bool ShardLruClient::RemoveEntry(uint64_t hash) {
+  bool removed = false;
+  WithShardLock(hash, [this, hash, &removed] {
+    auto& shard = *dir_->shards_[hash % dir_->config_.num_shards];
+    const auto it = shard.index.find(hash);
+    if (it == shard.index.end()) {
+      return;
+    }
+    shard.lru.Erase(hash);
+    verbs_.CompareSwap(it->second.slot_addr + ht::kAtomicOff,
+                       pool_->node().arena().ReadU64(it->second.slot_addr + ht::kAtomicOff),
+                       0);
+    alloc_.FreeBlocks(it->second.obj_addr, it->second.blocks);
+    shard.index.erase(it);
+    dir_->total_objects_.fetch_sub(1, std::memory_order_relaxed);
+    removed = true;
+  });
+  return removed;
+}
+
+bool ShardLruClient::DoGet(std::string_view key, std::string* value) {
   counters_.gets++;
   const uint64_t hash = HashKey(key);
   const uint8_t fp = Fingerprint(hash);
@@ -96,6 +130,17 @@ bool ShardLruClient::Get(std::string_view key, std::string* value) {
     core::DecodedObject obj;
     if (!core::DecodeObject(object_buf_.data(), bytes, &obj) || obj.key != key) {
       continue;
+    }
+    if (obj.ExpiredAt(pool_->clock().Tick())) {
+      // Lazy expiry: the looker-up reclaims the dead object.
+      if (dir_->config_.maintain_list) {
+        RemoveEntry(hash);
+      } else if (table_.CasAtomic(table_.BucketSlotAddr(bucket, i), slot.atomic_word, 0)) {
+        alloc_.FreeBlocks(slot.pointer(), slot.size_blocks());
+      }
+      counters_.expired++;
+      counters_.misses++;
+      return false;
     }
     if (value != nullptr) {
       value->assign(obj.value);
@@ -116,12 +161,71 @@ bool ShardLruClient::Get(std::string_view key, std::string* value) {
   return false;
 }
 
-void ShardLruClient::Set(std::string_view key, std::string_view value) {
+bool ShardLruClient::DoDelete(std::string_view key) {
+  const uint64_t hash = HashKey(key);
+  if (dir_->config_.maintain_list) {
+    if (RemoveEntry(hash)) {
+      counters_.deletes++;
+      return true;
+    }
+    return false;
+  }
+  // KVS mode (no caching structure): clear the slot directly.
+  const uint8_t fp = Fingerprint(hash);
+  const uint64_t bucket = table_.BucketIndexFor(hash);
+  table_.ReadBucket(bucket, &bucket_buf_);
+  for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+    const ht::SlotView& slot = bucket_buf_[i];
+    if (slot.IsObject() && slot.fp() == fp && slot.hash == hash) {
+      if (table_.CasAtomic(table_.BucketSlotAddr(bucket, i), slot.atomic_word, 0)) {
+        alloc_.FreeBlocks(slot.pointer(), slot.size_blocks());
+        counters_.deletes++;
+        return true;
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+bool ShardLruClient::DoExpire(std::string_view key, uint64_t ttl_ticks) {
+  const uint64_t hash = HashKey(key);
+  const uint8_t fp = Fingerprint(hash);
+  const uint64_t bucket = table_.BucketIndexFor(hash);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    table_.ReadBucket(bucket, &bucket_buf_);
+    int found = -1;
+    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+      const ht::SlotView& slot = bucket_buf_[i];
+      if (slot.IsObject() && slot.fp() == fp && slot.hash == hash) {
+        found = i;
+        break;
+      }
+    }
+    if (found < 0) {
+      return false;
+    }
+    const ht::SlotView& slot = bucket_buf_[found];
+    // Validate the slot still publishes this object before writing into its
+    // blocks (same-word CAS fails iff the slot changed underneath us).
+    if (!table_.CasAtomic(table_.BucketSlotAddr(bucket, found), slot.atomic_word,
+                          slot.atomic_word)) {
+      continue;
+    }
+    const uint64_t expiry = ttl_ticks == 0 ? 0 : pool_->clock().Tick() + ttl_ticks;
+    verbs_.WriteAsync(slot.pointer() + core::kExpiryOff, &expiry, 8);
+    return true;
+  }
+  return false;
+}
+
+bool ShardLruClient::DoSet(std::string_view key, std::string_view value, uint64_t ttl_ticks) {
   counters_.sets++;
   const uint64_t hash = HashKey(key);
   const uint8_t fp = Fingerprint(hash);
   const uint64_t bucket = table_.BucketIndexFor(hash);
   const int blocks = core::ObjectBlocks(key.size(), value.size(), 0);
+  const uint64_t expiry = ttl_ticks == 0 ? 0 : pool_->clock().Tick() + ttl_ticks;
 
   for (int attempt = 0; attempt < 8; ++attempt) {
     table_.ReadBucket(bucket, &bucket_buf_);
@@ -162,14 +266,15 @@ void ShardLruClient::Set(std::string_view key, std::string_view value) {
         evicted = true;
       });
       if (!evicted) {
-        return;
+        return false;
       }
+      counters_.evictions++;
       addr = alloc_.AllocBlocks(blocks);
     }
     if (addr == 0) {
-      return;
+      return false;
     }
-    core::EncodeObject(key, value, nullptr, 0, &encode_buf_);
+    core::EncodeObject(key, value, nullptr, 0, &encode_buf_, expiry);
     verbs_.Write(addr, encode_buf_.data(), encode_buf_.size());
     const uint64_t desired = ht::PackAtomic(fp, static_cast<uint8_t>(blocks), addr);
 
@@ -183,7 +288,7 @@ void ShardLruClient::Set(std::string_view key, std::string_view value) {
       expected = 0;
     } else {
       alloc_.FreeBlocks(addr, blocks);
-      return;  // bucket full: drop (matches the simple baseline's behaviour)
+      return false;  // bucket full: drop (matches the simple baseline's behaviour)
     }
     if (!table_.CasAtomic(slot_addr, expected, desired)) {
       alloc_.FreeBlocks(addr, blocks);
@@ -229,10 +334,12 @@ void ShardLruClient::Set(std::string_view key, std::string_view value) {
         if (!evicted) {
           break;
         }
+        counters_.evictions++;
       }
     }
-    return;
+    return true;
   }
+  return false;  // lost the publish race on every attempt
 }
 
 void ShardLruClient::ResetForMeasurement() {

@@ -75,8 +75,9 @@ class ShardLruClient : public sim::CacheClient {
  public:
   ShardLruClient(dm::MemoryPool* pool, ShardLruDirectory* dir, rdma::ClientContext* ctx);
 
-  bool Get(std::string_view key, std::string* value) override;
-  void Set(std::string_view key, std::string_view value) override;
+  // Typed batch dispatch; kMultiGet runs replay as sequential lookups (the
+  // baseline has no doorbell-chained metadata path to fuse).
+  void ExecuteBatch(std::span<const sim::CacheOp> ops, sim::CacheResult* results) override;
 
   rdma::ClientContext& ctx() override { return *ctx_; }
   sim::ClientCounters counters() const override { return counters_; }
@@ -85,6 +86,16 @@ class ShardLruClient : public sim::CacheClient {
   uint64_t lock_retries() const { return lock_retries_; }
 
  private:
+  bool DoGet(std::string_view key, std::string* value);
+  // Returns false if the store was dropped (no space, bucket full).
+  bool DoSet(std::string_view key, std::string_view value, uint64_t ttl_ticks);
+  bool DoDelete(std::string_view key);
+  bool DoExpire(std::string_view key, uint64_t ttl_ticks);
+
+  // Removes `hash`'s entry from its shard's list/index (under the shard
+  // lock), clears the slot, and frees the blocks. Returns true if removed.
+  bool RemoveEntry(uint64_t hash);
+
   // Performs the locked critical section around `body`, charging lock
   // acquisition (with retries), the body's verbs, and the release.
   void WithShardLock(uint64_t hash, const std::function<void()>& body);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 
 #include "common/hash.h"
 
@@ -125,6 +126,17 @@ bool DittoClient::Get(std::string_view key, std::string* value) {
     DecodedObject obj;
     if (!DecodeObject(object_buf_.data(), obj_bytes, &obj) || obj.key != key) {
       continue;  // fingerprint + hash collision with a different key
+    }
+    if (obj.ExpiredAt(pool_->clock().Now())) {
+      // Lazy expiry: reclaim the dead object and report a miss. Losing the
+      // CAS means a concurrent client already reclaimed or replaced it.
+      if (table_.CasAtomic(table_.BucketSlotAddr(bucket, i), slot.atomic_word, 0)) {
+        alloc_.FreeBlocks(obj_addr, slot.size_blocks());
+        verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+      }
+      stats_.expired++;
+      stats_.misses++;
+      return false;
     }
     if (value != nullptr) {
       value->assign(obj.value);
@@ -399,12 +411,13 @@ bool DittoClient::ClaimSlotAndPublish(uint64_t bucket, uint64_t hash, uint8_t fp
   return false;
 }
 
-void DittoClient::Set(std::string_view key, std::string_view value) {
+bool DittoClient::Set(std::string_view key, std::string_view value, uint64_t ttl_ticks) {
   stats_.sets++;
   const uint64_t hash = HashKey(key);
   const uint8_t fp = Fingerprint(hash);
   const uint64_t bucket = table_.BucketIndexFor(hash);
   const uint64_t now = NowTick();
+  const uint64_t expiry = ttl_ticks == 0 ? 0 : now + ttl_ticks;
 
   // Update path: the key is already cached.
   for (int attempt = 0; attempt < 4; ++attempt) {
@@ -434,9 +447,9 @@ void DittoClient::Set(std::string_view key, std::string_view value) {
       addr = alloc_.AllocBlocks(blocks);
     }
     if (addr == 0) {
-      return;  // pool exhausted beyond recovery; drop the Set
+      return false;  // pool exhausted beyond recovery; drop the Set
     }
-    EncodeObject(key, value, ext, total_ext_words_, &encode_buf_);
+    EncodeObject(key, value, ext, total_ext_words_, &encode_buf_, expiry);
     verbs_.Write(addr, encode_buf_.data(), encode_buf_.size());
     const uint64_t desired = ht::PackAtomic(fp, static_cast<uint8_t>(blocks), addr);
     if (table_.CasAtomic(table_.BucketSlotAddr(bucket, found), slot.atomic_word, desired)) {
@@ -447,7 +460,7 @@ void DittoClient::Set(std::string_view key, std::string_view value) {
       DecodedObject obj;
       DecodeObject(object_buf_.data(), object_buf_.size(), &obj);
       TouchObject(table_.BucketSlotAddr(bucket, found), updated, &obj, addr);
-      return;
+      return true;
     }
     alloc_.FreeBlocks(addr, blocks);
     stats_.set_retries++;
@@ -500,15 +513,17 @@ void DittoClient::Set(std::string_view key, std::string_view value) {
   }
   if (addr == 0) {
     verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
-    return;  // drop: memory exhausted and nothing evictable
+    return false;  // drop: memory exhausted and nothing evictable
   }
-  EncodeObject(key, value, ext, total_ext_words_, &encode_buf_);
+  EncodeObject(key, value, ext, total_ext_words_, &encode_buf_, expiry);
   verbs_.Write(addr, encode_buf_.data(), encode_buf_.size());
 
   if (!ClaimSlotAndPublish(bucket, hash, fp, addr, blocks, now)) {
     alloc_.FreeBlocks(addr, blocks);
     verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+    return false;
   }
+  return true;
 }
 
 bool DittoClient::Delete(std::string_view key) {
@@ -532,10 +547,76 @@ bool DittoClient::Delete(std::string_view key) {
     if (table_.CasAtomic(table_.BucketSlotAddr(bucket, found), slot.atomic_word, 0)) {
       alloc_.FreeBlocks(slot.pointer(), slot.size_blocks());
       verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+      stats_.deletes++;
       return true;
     }
   }
   return false;
+}
+
+bool DittoClient::Expire(std::string_view key, uint64_t ttl_ticks) {
+  const uint64_t hash = HashKey(key);
+  const uint8_t fp = Fingerprint(hash);
+  const uint64_t bucket = table_.BucketIndexFor(hash);
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    table_.ReadBucket(bucket, &bucket_buf_);
+    int found = -1;
+    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+      const ht::SlotView& slot = bucket_buf_[i];
+      if (slot.IsObject() && slot.fp() == fp && slot.hash == hash) {
+        found = i;
+        break;
+      }
+    }
+    if (found < 0) {
+      return false;
+    }
+    const ht::SlotView& slot = bucket_buf_[found];
+    const uint64_t obj_addr = slot.pointer();
+    const size_t obj_bytes = static_cast<size_t>(slot.size_blocks()) * dm::kBlockBytes;
+    object_buf_.resize(obj_bytes);
+    verbs_.Read(obj_addr, object_buf_.data(), obj_bytes);
+    DecodedObject obj;
+    if (!DecodeObject(object_buf_.data(), obj_bytes, &obj) || obj.key != key) {
+      return false;  // fingerprint + hash collision with a different key
+    }
+    // Re-validate that the slot still publishes this object before touching
+    // its blocks (a concurrent Delete/Set may have reused the run): a CAS to
+    // the same word fails iff the slot changed underneath us.
+    if (!table_.CasAtomic(table_.BucketSlotAddr(bucket, found), slot.atomic_word,
+                          slot.atomic_word)) {
+      continue;  // raced with a concurrent update; re-locate the key
+    }
+    // One small WRITE re-arms the expiry word in place (off the critical
+    // path; the value is already durable in program order on the arena).
+    const uint64_t expiry = ttl_ticks == 0 ? 0 : pool_->clock().Now() + ttl_ticks;
+    verbs_.WriteAsync(obj_addr + kExpiryOff, &expiry, 8);
+    return true;
+  }
+  return false;
+}
+
+size_t DittoClient::MultiGet(size_t n, const std::string_view* keys,
+                             std::string* const* values, bool* hits) {
+  // Chain the whole run's async metadata verbs behind one doorbell. When the
+  // caller already enabled windowed batching, keep its window; otherwise open
+  // an unbounded chain for the duration of the run and flush it once.
+  const size_t saved = verbs_.batch_ops();
+  if (saved == 0) {
+    verbs_.SetBatchOps(std::numeric_limits<size_t>::max());
+  }
+  size_t hit_count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const bool hit = Get(keys[i], values == nullptr ? nullptr : values[i]);
+    if (hits != nullptr) {
+      hits[i] = hit;
+    }
+    hit_count += hit ? 1 : 0;
+  }
+  if (saved == 0) {
+    verbs_.SetBatchOps(0);  // flushes the chain: one doorbell for the run
+  }
+  return hit_count;
 }
 
 void DittoClient::FlushBuffers() {

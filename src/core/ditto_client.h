@@ -62,7 +62,9 @@ struct DittoStats {
   uint64_t sets = 0;
   uint64_t hits = 0;
   uint64_t misses = 0;
+  uint64_t deletes = 0;
   uint64_t evictions = 0;
+  uint64_t expired = 0;  // objects reclaimed by lazy TTL expiry on lookup
   uint64_t regrets = 0;
   uint64_t set_retries = 0;
 
@@ -90,14 +92,30 @@ class DittoClient {
 
   // Looks up key. On hit fills *value (may be nullptr to skip the copy) and
   // updates access metadata. On miss collects a regret if the key's history
-  // entry is still live.
+  // entry is still live. An object past its TTL is reclaimed here (lazy
+  // expiry) and reported as a miss.
   bool Get(std::string_view key, std::string* value);
 
   // Inserts or updates key, evicting objects if the cache is at capacity.
-  void Set(std::string_view key, std::string_view value);
+  // ttl_ticks > 0 arms expiry that many logical-clock ticks from now.
+  // Returns false if the store had to be dropped (memory exhausted and
+  // nothing evictable).
+  bool Set(std::string_view key, std::string_view value, uint64_t ttl_ticks = 0);
 
   // Removes key. Returns true if it was cached.
   bool Delete(std::string_view key);
+
+  // (Re)arms the TTL of a cached key (ttl_ticks == 0 clears it). Returns
+  // false if the key is not cached.
+  bool Expire(std::string_view key, uint64_t ttl_ticks);
+
+  // Pipelined lookup of keys[0..n): per-key semantics of Get, but the whole
+  // run's async metadata verbs are chained behind a single NIC doorbell.
+  // hits[i] receives the per-key outcome; values may be nullptr, or an array
+  // of n string pointers (each possibly nullptr) filled on hit. Returns the
+  // number of hits.
+  size_t MultiGet(size_t n, const std::string_view* keys, std::string* const* values,
+                  bool* hits);
 
   // Flushes client-side buffers (FC cache deltas, pending penalties, the
   // doorbell-batched verb chain).
@@ -108,6 +126,7 @@ class DittoClient {
 
   const DittoStats& stats() const { return stats_; }
   DittoStats& mutable_stats() { return stats_; }
+  void ResetStats() { stats_ = DittoStats{}; }
   const std::vector<double>& expert_weights() const { return adaptive_->local_weights(); }
   rdma::ClientContext& ctx() { return *ctx_; }
   rdma::Verbs& verbs() { return verbs_; }

@@ -1,13 +1,17 @@
 // Wire format of cached objects in the heap.
 //
 //   +0  ObjectHeader (8 B): key_len(2) | val_len(4) | ext_words(2)
-//   +8  extension metadata words (8 B each, paper §4.4 "metadata header")
-//   +8+8*ext  key bytes
-//   ...       value bytes
+//   +8  expiry_tick  (8 B)  absolute logical-clock tick at which the object
+//                           expires; 0 = never. Expiry is lazy: the next
+//                           lookup that reads an expired object reclaims it.
+//   +16 extension metadata words (8 B each, paper §4.4 "metadata header")
+//   +16+8*ext  key bytes
+//   ...        value bytes
 //
 // Objects occupy contiguous runs of 64-byte blocks; the run length is what
-// the slot's 1-byte size field stores. The extension words live at a fixed
-// offset so eviction sampling can fetch them with one small READ.
+// the slot's 1-byte size field stores. The expiry tick and extension words
+// live at fixed offsets so eviction sampling and Expire can access them with
+// one small READ/WRITE.
 #ifndef DITTO_CORE_OBJECT_H_
 #define DITTO_CORE_OBJECT_H_
 
@@ -29,10 +33,11 @@ struct ObjectHeader {
 };
 static_assert(sizeof(ObjectHeader) == 8);
 
-inline constexpr uint64_t kExtWordsOff = sizeof(ObjectHeader);
+inline constexpr uint64_t kExpiryOff = sizeof(ObjectHeader);
+inline constexpr uint64_t kExtWordsOff = kExpiryOff + 8;
 
 inline size_t ObjectBytes(size_t key_len, size_t val_len, int ext_words) {
-  return sizeof(ObjectHeader) + static_cast<size_t>(ext_words) * 8 + key_len + val_len;
+  return kExtWordsOff + static_cast<size_t>(ext_words) * 8 + key_len + val_len;
 }
 
 inline int ObjectBlocks(size_t key_len, size_t val_len, int ext_words) {
@@ -41,12 +46,14 @@ inline int ObjectBlocks(size_t key_len, size_t val_len, int ext_words) {
 
 // Serializes an object into buf (resized to the padded block size).
 inline void EncodeObject(std::string_view key, std::string_view value,
-                         const uint64_t* ext, int ext_words, std::vector<uint8_t>* buf) {
+                         const uint64_t* ext, int ext_words, std::vector<uint8_t>* buf,
+                         uint64_t expiry_tick = 0) {
   const size_t bytes = ObjectBytes(key.size(), value.size(), ext_words);
   buf->assign(((bytes + dm::kBlockBytes - 1) / dm::kBlockBytes) * dm::kBlockBytes, 0);
   ObjectHeader header{static_cast<uint32_t>(value.size()), static_cast<uint16_t>(key.size()),
                       static_cast<uint16_t>(ext_words)};
   std::memcpy(buf->data(), &header, sizeof(header));
+  std::memcpy(buf->data() + kExpiryOff, &expiry_tick, 8);
   if (ext_words > 0) {
     std::memcpy(buf->data() + kExtWordsOff, ext, static_cast<size_t>(ext_words) * 8);
   }
@@ -59,14 +66,18 @@ inline void EncodeObject(std::string_view key, std::string_view value,
 // Parsed view into a raw object buffer. Pointers alias the buffer.
 struct DecodedObject {
   ObjectHeader header;
+  uint64_t expiry_tick;
   const uint64_t* ext;
   std::string_view key;
   std::string_view value;
+
+  // Whether the object is past its TTL at logical time `now`.
+  bool ExpiredAt(uint64_t now) const { return expiry_tick != 0 && now >= expiry_tick; }
 };
 
 // Returns false if the buffer is too small / malformed.
 inline bool DecodeObject(const uint8_t* buf, size_t len, DecodedObject* out) {
-  if (len < sizeof(ObjectHeader)) {
+  if (len < kExtWordsOff) {
     return false;
   }
   std::memcpy(&out->header, buf, sizeof(ObjectHeader));
@@ -75,6 +86,7 @@ inline bool DecodeObject(const uint8_t* buf, size_t len, DecodedObject* out) {
   if (need > len || out->header.ext_words > policy::Metadata::kMaxExtensionWords) {
     return false;
   }
+  std::memcpy(&out->expiry_tick, buf + kExpiryOff, 8);
   out->ext = reinterpret_cast<const uint64_t*>(buf + kExtWordsOff);
   const char* key_start =
       reinterpret_cast<const char*>(buf + kExtWordsOff + size_t{out->header.ext_words} * 8);

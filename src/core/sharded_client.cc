@@ -49,11 +49,57 @@ bool ShardedDittoClient::Get(std::string_view key, std::string* value) {
   return Route(key).Get(key, value);
 }
 
-void ShardedDittoClient::Set(std::string_view key, std::string_view value) {
-  Route(key).Set(key, value);
+bool ShardedDittoClient::Set(std::string_view key, std::string_view value,
+                             uint64_t ttl_ticks) {
+  return Route(key).Set(key, value, ttl_ticks);
 }
 
 bool ShardedDittoClient::Delete(std::string_view key) { return Route(key).Delete(key); }
+
+bool ShardedDittoClient::Expire(std::string_view key, uint64_t ttl_ticks) {
+  return Route(key).Expire(key, ttl_ticks);
+}
+
+size_t ShardedDittoClient::MultiGet(size_t n, const std::string_view* keys,
+                                    std::string* const* values, bool* hits) {
+  // Scatter the run over the owning nodes, then execute one chained multi-get
+  // per node so each node's metadata verbs share a doorbell. All scratch is
+  // member state reused across runs to keep the replay hot loop free of
+  // per-run heap churn.
+  mg_by_node_.resize(clients_.size());
+  for (std::vector<size_t>& idxs : mg_by_node_) {
+    idxs.clear();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    mg_by_node_[static_cast<size_t>(pool_->NodeFor(HashKey(keys[i])))].push_back(i);
+  }
+  if (mg_hits_cap_ < n) {
+    mg_hits_cap_ = std::max(n, mg_hits_cap_ * 2);
+    mg_hits_ = std::make_unique<bool[]>(mg_hits_cap_);
+  }
+  size_t hit_count = 0;
+  for (size_t node = 0; node < mg_by_node_.size(); ++node) {
+    const std::vector<size_t>& idxs = mg_by_node_[node];
+    if (idxs.empty()) {
+      continue;
+    }
+    mg_keys_.clear();
+    mg_values_.clear();
+    for (const size_t i : idxs) {
+      mg_keys_.push_back(keys[i]);
+      mg_values_.push_back(values == nullptr ? nullptr : values[i]);
+    }
+    hit_count += clients_[node]->MultiGet(idxs.size(), mg_keys_.data(),
+                                          values == nullptr ? nullptr : mg_values_.data(),
+                                          mg_hits_.get());
+    if (hits != nullptr) {
+      for (size_t j = 0; j < idxs.size(); ++j) {
+        hits[idxs[j]] = mg_hits_[j];
+      }
+    }
+  }
+  return hit_count;
+}
 
 void ShardedDittoClient::FlushBuffers() {
   for (const auto& client : clients_) {
@@ -75,7 +121,9 @@ DittoStats ShardedDittoClient::stats() const {
     total.sets += s.sets;
     total.hits += s.hits;
     total.misses += s.misses;
+    total.deletes += s.deletes;
     total.evictions += s.evictions;
+    total.expired += s.expired;
     total.regrets += s.regrets;
     total.set_retries += s.set_retries;
   }
@@ -84,7 +132,7 @@ DittoStats ShardedDittoClient::stats() const {
 
 void ShardedDittoClient::ResetStats() {
   for (const auto& client : clients_) {
-    client->mutable_stats() = DittoStats{};
+    client->ResetStats();
   }
 }
 

@@ -68,8 +68,14 @@ class ShardedDittoClient {
   ShardedDittoClient(ShardedPool* pool, rdma::ClientContext* ctx, const DittoConfig& config);
 
   bool Get(std::string_view key, std::string* value);
-  void Set(std::string_view key, std::string_view value);
+  bool Set(std::string_view key, std::string_view value, uint64_t ttl_ticks = 0);
   bool Delete(std::string_view key);
+  bool Expire(std::string_view key, uint64_t ttl_ticks);
+  // Pipelined lookup of keys[0..n): keys are grouped by owning node and each
+  // node's run chains its metadata verbs behind one doorbell (same contract
+  // as DittoClient::MultiGet). Returns the number of hits.
+  size_t MultiGet(size_t n, const std::string_view* keys, std::string* const* values,
+                  bool* hits);
   void FlushBuffers();
   // Doorbell-batches async metadata verbs on every per-node QP.
   void SetBatchOps(size_t ops);
@@ -86,6 +92,14 @@ class ShardedDittoClient {
   ShardedPool* pool_;
   rdma::ClientContext* ctx_;
   std::vector<std::unique_ptr<DittoClient>> clients_;
+
+  // MultiGet scatter/gather scratch, reused across runs (a client instance
+  // is single-threaded, like its DittoClients).
+  std::vector<std::vector<size_t>> mg_by_node_;
+  std::vector<std::string_view> mg_keys_;
+  std::vector<std::string*> mg_values_;
+  std::unique_ptr<bool[]> mg_hits_;
+  size_t mg_hits_cap_ = 0;
 };
 
 }  // namespace ditto::core

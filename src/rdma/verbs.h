@@ -55,6 +55,7 @@ class Verbs {
   // message count therefore never exceeds the unbatched count.
   void SetBatchOps(size_t max_pending);
   void FlushBatch();
+  size_t batch_ops() const { return batch_max_; }
   size_t batch_pending() const { return pending_.size(); }
 
  private:

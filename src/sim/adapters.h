@@ -1,8 +1,17 @@
-// Adapter making core::DittoClient drivable by the experiment runner.
+// Adapters making core::DittoClient / core::ShardedDittoClient drivable by
+// the experiment runner through the typed CacheOp protocol.
+//
+// Both adapters share DittoAdapterBase, which implements the whole
+// CacheClient surface once: typed batch dispatch (including fusing
+// consecutive kMultiGet ops into one chained multi-get), the
+// DittoStats -> ClientCounters mapping, and the measurement-boundary reset.
+// The two concrete adapters only differ in how the wrapped client is
+// constructed.
 #ifndef DITTO_SIM_ADAPTERS_H_
 #define DITTO_SIM_ADAPTERS_H_
 
 #include <memory>
+#include <vector>
 
 #include "core/ditto_client.h"
 #include "core/sharded_client.h"
@@ -10,54 +19,35 @@
 
 namespace ditto::sim {
 
-class DittoCacheClient : public CacheClient {
- public:
-  DittoCacheClient(dm::MemoryPool* pool, rdma::ClientContext* ctx,
-                   const core::DittoConfig& config)
-      : ctx_(ctx), client_(pool, ctx, config) {}
+// Single mapping from core statistics to runner counters; keep the two in
+// sync when either side grows a field.
+inline ClientCounters CountersFromStats(const core::DittoStats& s) {
+  return ClientCounters{s.gets, s.hits, s.misses, s.sets, s.deletes, s.evictions, s.expired};
+}
 
-  bool Get(std::string_view key, std::string* value) override { return client_.Get(key, value); }
-  void Set(std::string_view key, std::string_view value) override { client_.Set(key, value); }
+template <typename ClientT>
+class DittoAdapterBase : public CacheClient {
+ public:
+  void ExecuteBatch(std::span<const CacheOp> ops, CacheResult* results) override {
+    size_t i = 0;
+    while (i < ops.size()) {
+      if (ops[i].kind == OpKind::kMultiGet) {
+        size_t run_end = i;
+        while (run_end < ops.size() && ops[run_end].kind == OpKind::kMultiGet) {
+          ++run_end;
+        }
+        ExecuteMultiGetRun(ops, i, run_end, results);
+        i = run_end;
+        continue;
+      }
+      ExecuteSingle(ops[i], &results[i]);
+      ++i;
+    }
+  }
 
   rdma::ClientContext& ctx() override { return *ctx_; }
 
-  ClientCounters counters() const override {
-    const core::DittoStats& s = client_.stats();
-    return ClientCounters{s.gets, s.hits, s.misses, s.sets};
-  }
-
-  void Finish() override { client_.FlushBuffers(); }
-
-  void ResetForMeasurement() override {
-    client_.mutable_stats() = core::DittoStats{};
-    ctx_->op_hist().Reset();
-  }
-
-  void SetBatchOps(size_t ops) override { client_.SetBatchOps(ops); }
-
-  core::DittoClient& ditto() { return client_; }
-
- private:
-  rdma::ClientContext* ctx_;
-  core::DittoClient client_;
-};
-
-// Adapter for multi-memory-node deployments.
-class ShardedDittoCacheClient : public CacheClient {
- public:
-  ShardedDittoCacheClient(core::ShardedPool* pool, rdma::ClientContext* ctx,
-                          const core::DittoConfig& config)
-      : ctx_(ctx), client_(pool, ctx, config) {}
-
-  bool Get(std::string_view key, std::string* value) override { return client_.Get(key, value); }
-  void Set(std::string_view key, std::string_view value) override { client_.Set(key, value); }
-
-  rdma::ClientContext& ctx() override { return *ctx_; }
-
-  ClientCounters counters() const override {
-    const core::DittoStats s = client_.stats();
-    return ClientCounters{s.gets, s.hits, s.misses, s.sets};
-  }
+  ClientCounters counters() const override { return CountersFromStats(client_.stats()); }
 
   void Finish() override { client_.FlushBuffers(); }
 
@@ -68,11 +58,76 @@ class ShardedDittoCacheClient : public CacheClient {
 
   void SetBatchOps(size_t ops) override { client_.SetBatchOps(ops); }
 
-  core::ShardedDittoClient& sharded() { return client_; }
+ protected:
+  template <typename PoolT>
+  DittoAdapterBase(PoolT* pool, rdma::ClientContext* ctx, const core::DittoConfig& config)
+      : ctx_(ctx), client_(pool, ctx, config) {}
+
+  rdma::ClientContext* ctx_;
+  ClientT client_;
 
  private:
-  rdma::ClientContext* ctx_;
-  core::ShardedDittoClient client_;
+  void ExecuteSingle(const CacheOp& op, CacheResult* result) {
+    DispatchSingleOp(
+        *ctx_, op, result,
+        [this](std::string_view key, std::string* value) { return client_.Get(key, value); },
+        [this](std::string_view key, std::string_view value, uint64_t ttl) {
+          return client_.Set(key, value, ttl);
+        },
+        [this](std::string_view key) { return client_.Delete(key); },
+        [this](std::string_view key, uint64_t ttl) { return client_.Expire(key, ttl); });
+  }
+
+  void ExecuteMultiGetRun(std::span<const CacheOp> ops, size_t begin, size_t end,
+                          CacheResult* results) {
+    const size_t n = end - begin;
+    mg_keys_.clear();
+    mg_values_.clear();
+    for (size_t i = begin; i < end; ++i) {
+      mg_keys_.push_back(ops[i].key);
+      mg_values_.push_back(ops[i].want_value ? &results[i].value : nullptr);
+    }
+    if (mg_hits_cap_ < n) {
+      mg_hits_cap_ = std::max(n, mg_hits_cap_ * 2);
+      mg_hits_ = std::make_unique<bool[]>(mg_hits_cap_);
+    }
+    const uint64_t begin_ns = ctx_->clock().busy_ns();
+    client_.MultiGet(n, mg_keys_.data(), mg_values_.data(), mg_hits_.get());
+    // Per-op attribution of a pipelined run: the run's mean cost.
+    const double per_op_us =
+        static_cast<double>(ctx_->clock().busy_ns() - begin_ns) / 1000.0 /
+        static_cast<double>(n);
+    for (size_t j = 0; j < n; ++j) {
+      results[begin + j].status = mg_hits_[j] ? OpStatus::kHit : OpStatus::kMiss;
+      results[begin + j].latency_us = per_op_us;
+    }
+  }
+
+  // Multi-get gather scratch, reused across runs (adapters are
+  // single-threaded like the clients they wrap).
+  std::vector<std::string_view> mg_keys_;
+  std::vector<std::string*> mg_values_;
+  std::unique_ptr<bool[]> mg_hits_;
+  size_t mg_hits_cap_ = 0;
+};
+
+class DittoCacheClient : public DittoAdapterBase<core::DittoClient> {
+ public:
+  DittoCacheClient(dm::MemoryPool* pool, rdma::ClientContext* ctx,
+                   const core::DittoConfig& config)
+      : DittoAdapterBase(pool, ctx, config) {}
+
+  core::DittoClient& ditto() { return client_; }
+};
+
+// Adapter for multi-memory-node deployments.
+class ShardedDittoCacheClient : public DittoAdapterBase<core::ShardedDittoClient> {
+ public:
+  ShardedDittoCacheClient(core::ShardedPool* pool, rdma::ClientContext* ctx,
+                          const core::DittoConfig& config)
+      : DittoAdapterBase(pool, ctx, config) {}
+
+  core::ShardedDittoClient& sharded() { return client_; }
 };
 
 }  // namespace ditto::sim

@@ -1,13 +1,23 @@
 // CacheClient: the uniform client interface the experiment runner drives.
 // Ditto clients and every DM baseline implement it, so benches replay the
 // identical trace against all systems.
+//
+// The primary entry point is ExecuteBatch over typed CacheOps (see
+// cache_op.h): implementations see whole batches, which lets them chain the
+// metadata verbs of a pipelined kMultiGet run into one NIC doorbell. The
+// blocking Get/Set/Delete/Expire members are convenience wrappers over a
+// one-element batch, retained so pre-protocol call sites keep compiling.
 #ifndef DITTO_SIM_CLIENT_IFACE_H_
 #define DITTO_SIM_CLIENT_IFACE_H_
 
+#include <span>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "rdma/node.h"
+#include "sim/cache_op.h"
 
 namespace ditto::sim {
 
@@ -16,14 +26,95 @@ struct ClientCounters {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t sets = 0;
+  uint64_t deletes = 0;
+  uint64_t evictions = 0;
+  uint64_t expired = 0;  // objects reclaimed by lazy TTL expiry on lookup
 };
+
+// Shared single-op dispatch for implementations that map a CacheOp onto
+// blocking per-kind primitives: runs the right callable, fills the typed
+// status, and charges the op's virtual-time latency. Keeps the kind switch in
+// one place so a new OpKind is added once, not once per implementation.
+template <typename GetFn, typename SetFn, typename DeleteFn, typename ExpireFn>
+void DispatchSingleOp(rdma::ClientContext& ctx, const CacheOp& op, CacheResult* result,
+                      GetFn&& get, SetFn&& set, DeleteFn&& del, ExpireFn&& expire) {
+  const uint64_t begin_ns = ctx.clock().busy_ns();
+  switch (op.kind) {
+    case OpKind::kGet:
+    case OpKind::kMultiGet:  // a lone kMultiGet degenerates to a Get
+      result->status = get(op.key, op.want_value ? &result->value : nullptr)
+                           ? OpStatus::kHit
+                           : OpStatus::kMiss;
+      break;
+    case OpKind::kSet:
+      result->status = set(op.key, op.value, op.ttl_ticks) ? OpStatus::kStored
+                                                           : OpStatus::kDropped;
+      break;
+    case OpKind::kDelete:
+      result->status = del(op.key) ? OpStatus::kDeleted : OpStatus::kNotFound;
+      break;
+    case OpKind::kExpire:
+      result->status = expire(op.key, op.ttl_ticks) ? OpStatus::kStored : OpStatus::kNotFound;
+      break;
+  }
+  result->latency_us = static_cast<double>(ctx.clock().busy_ns() - begin_ns) / 1000.0;
+}
 
 class CacheClient {
  public:
   virtual ~CacheClient() = default;
 
-  virtual bool Get(std::string_view key, std::string* value) = 0;
-  virtual void Set(std::string_view key, std::string_view value) = 0;
+  // Executes `ops` in order, writing ops.size() results to `results`.
+  // Consecutive kMultiGet ops form one pipelined multi-key lookup whose
+  // metadata verbs batching-capable clients chain behind a single doorbell.
+  virtual void ExecuteBatch(std::span<const CacheOp> ops, CacheResult* results) = 0;
+
+  // --- Blocking wrappers over a one-element batch --------------------------
+  bool Get(std::string_view key, std::string* value) {
+    const CacheOp op = CacheOp::Get(key, /*want_value=*/value != nullptr);
+    CacheResult r;
+    ExecuteBatch({&op, 1}, &r);
+    if (value != nullptr && r.hit()) {
+      *value = std::move(r.value);
+    }
+    return r.hit();
+  }
+  // Returns false if the store was dropped (memory exhausted, nothing
+  // evictable).
+  bool Set(std::string_view key, std::string_view value, uint64_t ttl_ticks = 0) {
+    const CacheOp op = CacheOp::Set(key, value, ttl_ticks);
+    CacheResult r;
+    ExecuteBatch({&op, 1}, &r);
+    return r.status == OpStatus::kStored;
+  }
+  bool Delete(std::string_view key) {
+    const CacheOp op = CacheOp::Delete(key);
+    CacheResult r;
+    ExecuteBatch({&op, 1}, &r);
+    return r.status == OpStatus::kDeleted;
+  }
+  bool Expire(std::string_view key, uint64_t ttl_ticks) {
+    const CacheOp op = CacheOp::Expire(key, ttl_ticks);
+    CacheResult r;
+    ExecuteBatch({&op, 1}, &r);
+    return r.status == OpStatus::kStored;
+  }
+  // Pipelined lookup of `keys`; results->at(i) corresponds to keys[i].
+  // Returns the number of hits.
+  size_t MultiGet(std::span<const std::string_view> keys, std::vector<CacheResult>* results) {
+    std::vector<CacheOp> ops;
+    ops.reserve(keys.size());
+    for (const std::string_view key : keys) {
+      ops.push_back(CacheOp::MultiGet(key));
+    }
+    results->assign(keys.size(), CacheResult{});
+    ExecuteBatch(ops, results->data());
+    size_t hits = 0;
+    for (const CacheResult& r : *results) {
+      hits += r.hit() ? 1 : 0;
+    }
+    return hits;
+  }
 
   virtual rdma::ClientContext& ctx() = 0;
   virtual ClientCounters counters() const = 0;

@@ -21,33 +21,124 @@ size_t RunOptions::ValueBytesFor(uint64_t key) const {
 
 namespace {
 
-// Executes one request on a client, applying the miss-penalty/set-on-miss
-// policy, and records the op latency.
-void ExecuteRequest(CacheClient* client, const workload::Request& req,
+// On a Get/MultiGet miss, applies the miss-penalty/set-on-miss policy.
+void HandleMiss(CacheClient* client, std::string_view key, uint64_t raw_key,
+                const RunOptions& options, const std::string& value) {
+  if (!options.set_on_miss) {
+    return;
+  }
+  if (options.miss_penalty_us > 0.0) {
+    // Fetch from the backing distributed store.
+    client->ctx().clock().AdvanceUs(options.miss_penalty_us);
+  }
+  client->Set(key, std::string_view(value.data(), options.ValueBytesFor(raw_key)));
+}
+
+// Executes one non-fused request on a client as a typed one-op batch,
+// applying the miss-penalty/set-on-miss policy, and records the op latency.
+void ExecuteRequest(CacheClient* client, const workload::Request& req, workload::Op op,
                     const RunOptions& options, const std::string& value) {
   rdma::ClientContext& ctx = client->ctx();
   const std::string key = workload::KeyString(req.key);
-  const std::string_view payload(value.data(), options.ValueBytesFor(req.key));
   const uint64_t begin_ns = ctx.clock().busy_ns();
-  switch (req.op) {
-    case workload::Op::kGet: {
-      const bool hit = client->Get(key, nullptr);
-      if (!hit && options.set_on_miss) {
-        if (options.miss_penalty_us > 0.0) {
-          // Fetch from the backing distributed store.
-          ctx.clock().AdvanceUs(options.miss_penalty_us);
-        }
-        client->Set(key, payload);
-      }
+  CacheOp cache_op;
+  switch (op) {
+    case workload::Op::kGet:
+    case workload::Op::kMultiGet:  // an unfused multi-get of one key
+      cache_op = CacheOp::Get(key, /*want_value=*/false);
       break;
-    }
     case workload::Op::kUpdate:
     case workload::Op::kInsert:
-      client->Set(key, payload);
+      cache_op = CacheOp::Set(key, std::string_view(value.data(),
+                                                    options.ValueBytesFor(req.key)));
       break;
+    case workload::Op::kDelete:
+      cache_op = CacheOp::Delete(key);
+      break;
+    case workload::Op::kExpire:
+      cache_op = CacheOp::Expire(key, options.expire_ttl_ticks);
+      break;
+  }
+  CacheResult result;
+  client->ExecuteBatch({&cache_op, 1}, &result);
+  if (cache_op.kind == OpKind::kGet && !result.hit()) {
+    HandleMiss(client, key, req.key, options, value);
   }
   ctx.op_hist().RecordNs(ctx.clock().busy_ns() - begin_ns);
 }
+
+// Executes a fused run of kMultiGet requests as one pipelined batch, then
+// applies the miss policy per missed key. Latency is recorded per key (the
+// run's mean, as reported by the client).
+void ExecuteMultiGetRun(CacheClient* client, const workload::Trace& trace,
+                        const std::vector<uint32_t>& idxs, const RunOptions& options,
+                        const std::string& value) {
+  if (idxs.empty()) {
+    return;
+  }
+  rdma::ClientContext& ctx = client->ctx();
+  const uint64_t begin_ns = ctx.clock().busy_ns();
+  std::vector<std::string> keys;
+  keys.reserve(idxs.size());
+  for (const uint32_t i : idxs) {
+    keys.push_back(workload::KeyString(trace[i].key));
+  }
+  std::vector<CacheOp> ops;
+  ops.reserve(idxs.size());
+  for (const std::string& key : keys) {
+    ops.push_back(CacheOp::MultiGet(key, /*want_value=*/false));
+  }
+  std::vector<CacheResult> results(idxs.size());
+  client->ExecuteBatch(ops, results.data());
+  for (size_t j = 0; j < idxs.size(); ++j) {
+    if (!results[j].hit()) {
+      HandleMiss(client, keys[j], trace[idxs[j]].key, options, value);
+    }
+  }
+  const uint64_t total_ns = ctx.clock().busy_ns() - begin_ns;
+  for (size_t j = 0; j < idxs.size(); ++j) {
+    ctx.op_hist().RecordNs(total_ns / idxs.size());
+  }
+}
+
+// Per-client/per-shard accumulator fusing consecutive kMultiGet requests
+// into pipelined runs of up to options.multiget_batch keys. Fusion state
+// depends only on the owner's private request stream, so replay stays
+// deterministic for any thread count.
+class OpDispatcher {
+ public:
+  OpDispatcher(CacheClient* client, const workload::Trace& trace, const RunOptions& options,
+               const std::string& value)
+      : client_(client), trace_(trace), options_(options), value_(value) {}
+
+  void Dispatch(uint32_t index) {
+    const workload::Request& req = trace_[index];
+    const workload::Op op = workload::MixedOpAt(req.op, index, options_.op_mix);
+    if (op == workload::Op::kMultiGet && options_.multiget_batch > 1) {
+      pending_.push_back(index);
+      if (pending_.size() >= options_.multiget_batch) {
+        Flush();
+      }
+      return;
+    }
+    Flush();  // a non-fusable op closes the current run
+    ExecuteRequest(client_, req, op, options_, value_);
+  }
+
+  void Flush() {
+    if (!pending_.empty()) {
+      ExecuteMultiGetRun(client_, trace_, pending_, options_, value_);
+      pending_.clear();
+    }
+  }
+
+ private:
+  CacheClient* client_;
+  const workload::Trace& trace_;
+  const RunOptions& options_;
+  const std::string& value_;
+  std::vector<uint32_t> pending_;
+};
 
 // Replays [begin, end) of the trace: client c owns the strided shard
 // begin+c, begin+c+n, ... and the clients' progress is interleaved with the
@@ -61,9 +152,12 @@ void ReplayInterleaved(const std::vector<CacheClient*>& clients, const workload:
   const size_t n = clients.size();
   const std::string value(std::max(options.value_bytes, options.value_bytes_max), 'v');
   std::vector<size_t> cursor(n);
+  std::vector<OpDispatcher> dispatch;
+  dispatch.reserve(n);
   std::vector<int> live;
   for (size_t c = 0; c < n; ++c) {
     cursor[c] = begin + c;
+    dispatch.emplace_back(clients[c], trace, options, value);
     if (cursor[c] < end) {
       live.push_back(static_cast<int>(c));
     }
@@ -74,10 +168,11 @@ void ReplayInterleaved(const std::vector<CacheClient*>& clients, const workload:
     const int c = live[pick];
     const uint64_t burst = 1 + rng.NextBelow(8);
     for (uint64_t b = 0; b < burst && cursor[c] < end; ++b) {
-      ExecuteRequest(clients[c], trace[cursor[c]], options, value);
+      dispatch[c].Dispatch(static_cast<uint32_t>(cursor[c]));
       cursor[c] += n;
     }
     if (static_cast<size_t>(cursor[c]) >= end) {
+      dispatch[c].Flush();
       live[pick] = live.back();
       live.pop_back();
     }
@@ -128,6 +223,9 @@ RunResult FinishMeasurement(const std::vector<CacheClient*>& clients,
     result.hits += counters.hits;
     result.misses += counters.misses;
     result.sets += counters.sets;
+    result.deletes += counters.deletes;
+    result.evictions += counters.evictions;
+    result.expired += counters.expired;
     merged.Merge(clients[c]->ctx().op_hist());
     sum_busy_delta += clients[c]->ctx().clock().busy_ns() - base.busy_before[c];
   }
@@ -186,13 +284,21 @@ void ReplaySharded(const std::vector<CacheClient*>& shards, const workload::Trac
   for (int t = 0; t < num_workers; ++t) {
     workers.emplace_back([&, t] {
       constexpr int kDrainBurst = 64;
+      // One fusion accumulator per owned shard: fusion state follows the
+      // shard's private stream, never the worker's drain schedule, so the
+      // fused runs are identical for any thread count.
+      std::vector<std::unique_ptr<OpDispatcher>> dispatch(num_shards);
+      for (size_t s = static_cast<size_t>(t); s < num_shards;
+           s += static_cast<size_t>(num_workers)) {
+        dispatch[s] = std::make_unique<OpDispatcher>(shards[s], trace, options, value);
+      }
       while (true) {
         bool made_progress = false;
         for (size_t s = static_cast<size_t>(t); s < num_shards;
              s += static_cast<size_t>(num_workers)) {
           uint32_t idx;
           for (int n = 0; n < kDrainBurst && queues[s]->TryPop(&idx); ++n) {
-            ExecuteRequest(shards[s], trace[idx], options, value);
+            dispatch[s]->Dispatch(idx);
             made_progress = true;
           }
         }
@@ -206,6 +312,10 @@ void ReplaySharded(const std::vector<CacheClient*>& shards, const workload::Trac
             drained = drained && queues[s]->Empty();
           }
           if (drained) {
+            for (size_t s = static_cast<size_t>(t); s < num_shards;
+                 s += static_cast<size_t>(num_workers)) {
+              dispatch[s]->Flush();
+            }
             return;
           }
         } else {

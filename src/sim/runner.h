@@ -41,6 +41,16 @@ struct RunOptions {
   // chain of this many posts (duplicate addresses coalesce on the wire).
   size_t batch_ops = 0;
 
+  // Typed-op replay knobs. op_mix deterministically rewrites a fraction of
+  // the trace's Gets into kDelete / kExpire / kMultiGet (a pure function of
+  // the request index, so every engine and thread count replays the same op
+  // stream). Consecutive kMultiGet requests of one client/shard fuse into a
+  // pipelined multi-get of up to multiget_batch keys; kExpire arms
+  // expire_ttl_ticks of TTL.
+  workload::OpMix op_mix;
+  size_t multiget_batch = 8;
+  uint64_t expire_ttl_ticks = 64;
+
   size_t ValueBytesFor(uint64_t key) const;
 };
 
@@ -55,6 +65,9 @@ struct RunResult {
   uint64_t misses = 0;
   uint64_t gets = 0;
   uint64_t sets = 0;
+  uint64_t deletes = 0;
+  uint64_t evictions = 0;
+  uint64_t expired = 0;
   uint64_t nic_messages = 0;
   uint64_t nic_doorbells = 0;
   uint64_t rpc_ops = 0;

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "common/hash.h"
 #include "common/rand.h"
 
 namespace ditto::workload {
@@ -20,6 +21,32 @@ std::string KeyString(uint64_t key) {
   char buf[24];
   std::snprintf(buf, sizeof(buf), "k%016llx", static_cast<unsigned long long>(key));
   return buf;
+}
+
+Op MixedOpAt(Op base, uint64_t index, const OpMix& mix) {
+  if (base != Op::kGet || !mix.Active()) {
+    return base;
+  }
+  // A pure hash of (index, seed) in [0, 1): independent of thread count and
+  // replay order.
+  const double u = static_cast<double>(Mix64(index ^ (mix.seed * 0x9e3779b97f4a7c15ULL))) /
+                   static_cast<double>(UINT64_MAX);
+  if (u < mix.delete_fraction) {
+    return Op::kDelete;
+  }
+  if (u < mix.delete_fraction + mix.expire_fraction) {
+    return Op::kExpire;
+  }
+  if (u < mix.delete_fraction + mix.expire_fraction + mix.multiget_fraction) {
+    return Op::kMultiGet;
+  }
+  return Op::kGet;
+}
+
+void ApplyOpMix(Trace* trace, const OpMix& mix) {
+  for (uint64_t i = 0; i < trace->size(); ++i) {
+    (*trace)[i].op = MixedOpAt((*trace)[i].op, i, mix);
+  }
 }
 
 Trace InterleaveClients(const Trace& trace, int num_clients, uint64_t seed) {

@@ -2,6 +2,12 @@
 // space. Generators produce traces with controlled algorithm affinity
 // (LRU-friendly, LFU-friendly, phase-switching) standing in for the paper's
 // real-world trace families (see DESIGN.md §1 for the substitution).
+//
+// Requests carry a typed op kind. Beyond the classic kGet/kUpdate/kInsert,
+// traces can carry kDelete, kExpire (arm a TTL), and kMultiGet (a lookup the
+// replay engines may fuse with adjacent kMultiGets of the same shard into one
+// pipelined multi-key request). ApplyOpMix rewrites a deterministic fraction
+// of a trace's Gets into these kinds.
 #ifndef DITTO_WORKLOADS_TRACE_H_
 #define DITTO_WORKLOADS_TRACE_H_
 
@@ -11,7 +17,7 @@
 
 namespace ditto::workload {
 
-enum class Op : uint8_t { kGet, kUpdate, kInsert };
+enum class Op : uint8_t { kGet, kUpdate, kInsert, kDelete, kExpire, kMultiGet };
 
 struct Request {
   Op op;
@@ -26,6 +32,29 @@ uint64_t Footprint(const Trace& trace);
 // Renders an integer key as the cache key string ("k%016x" zero-padded so
 // all keys have equal length).
 std::string KeyString(uint64_t key);
+
+// A deterministic op-kind mix applied over a trace's Gets. Fractions are
+// cumulative-checked in the order delete, expire, multiget; their sum should
+// stay <= 1. Only kGet requests are rewritten, so write ratios of YCSB-style
+// traces are preserved.
+struct OpMix {
+  double delete_fraction = 0.0;
+  double expire_fraction = 0.0;
+  double multiget_fraction = 0.0;
+  uint64_t seed = 0x6f706d6978ULL;  // "opmix"
+
+  bool Active() const {
+    return delete_fraction > 0.0 || expire_fraction > 0.0 || multiget_fraction > 0.0;
+  }
+};
+
+// The op kind request `index` of a trace replays under `mix`: a pure function
+// of (base op, index, mix), so every replay engine — sharded or interleaved,
+// any thread count — sees the identical op stream.
+Op MixedOpAt(Op base, uint64_t index, const OpMix& mix);
+
+// Materializes MixedOpAt over a whole trace.
+void ApplyOpMix(Trace* trace, const OpMix& mix);
 
 // Deterministically interleaves per-client subsequences of `trace` the way
 // `num_clients` concurrent clients replaying disjoint shards would: client i

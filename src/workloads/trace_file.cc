@@ -25,7 +25,7 @@ std::vector<std::string> SplitCsv(const std::string& line) {
 }
 
 // Maps an op string (either format) to a request op. Returns false for ops
-// that do not touch the cache the way our replay models (e.g. delete).
+// that do not touch the cache the way our replay models (e.g. incr/decr).
 bool OpFor(std::string op, Op* out) {
   for (char& c : op) {
     c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
@@ -43,7 +43,37 @@ bool OpFor(std::string op, Op* out) {
     *out = Op::kInsert;
     return true;
   }
-  return false;  // delete / incr / decr / unknown: skipped
+  if (op == "delete" || op == "del") {
+    *out = Op::kDelete;
+    return true;
+  }
+  if (op == "expire" || op == "touch") {
+    *out = Op::kExpire;
+    return true;
+  }
+  if (op == "mget" || op == "multiget") {
+    *out = Op::kMultiGet;
+    return true;
+  }
+  return false;  // incr / decr / unknown: skipped
+}
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kGet:
+      return "GET";
+    case Op::kUpdate:
+      return "UPDATE";
+    case Op::kInsert:
+      return "INSERT";
+    case Op::kDelete:
+      return "DELETE";
+    case Op::kExpire:
+      return "EXPIRE";
+    case Op::kMultiGet:
+      return "MGET";
+  }
+  return "GET";
 }
 
 }  // namespace
@@ -107,8 +137,7 @@ Trace LoadTraceFile(const std::string& path, TraceFileStats* stats) {
 
 void WriteTraceFile(const Trace& trace, std::ostream& out) {
   for (const Request& r : trace) {
-    const char* op = r.op == Op::kGet ? "GET" : (r.op == Op::kInsert ? "INSERT" : "UPDATE");
-    out << op << ',' << r.key << '\n';
+    out << OpName(r.op) << ',' << r.key << '\n';
   }
 }
 

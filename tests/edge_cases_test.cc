@@ -88,9 +88,10 @@ TEST(EdgeCaseTest, KeyAtMaximumObjectSizeRoundTrips) {
   rdma::ClientContext ctx(0);
   DittoClient client(&pool, &ctx, Lru());
 
-  // kMaxRunBlocks * 64 = 1024 bytes: header(8) + key(24) leaves 992.
+  // kMaxRunBlocks * 64 = 1024 bytes: header(8) + expiry(8) + key(24)
+  // leaves 984.
   const std::string key(24, 'k');
-  const std::string value(992, 'v');
+  const std::string value(984, 'v');
   client.Set(key, value);
   std::string out;
   ASSERT_TRUE(client.Get(key, &out));

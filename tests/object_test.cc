@@ -10,7 +10,8 @@ namespace {
 
 TEST(ObjectTest, HeaderIsEightBytes) {
   static_assert(sizeof(ObjectHeader) == 8);
-  EXPECT_EQ(kExtWordsOff, 8u);
+  EXPECT_EQ(kExpiryOff, 8u) << "expiry word directly after the header";
+  EXPECT_EQ(kExtWordsOff, 16u) << "extension words after the expiry word";
 }
 
 TEST(ObjectTest, EncodeDecodeRoundTrip) {
@@ -23,6 +24,22 @@ TEST(ObjectTest, EncodeDecodeRoundTrip) {
   EXPECT_EQ(obj.key, "my-key");
   EXPECT_EQ(obj.value, "my-value");
   EXPECT_EQ(obj.header.ext_words, 0);
+  EXPECT_EQ(obj.expiry_tick, 0u) << "no TTL by default";
+}
+
+TEST(ObjectTest, ExpiryTickRoundTripsAndCompares) {
+  std::vector<uint8_t> buf;
+  EncodeObject("k", "v", nullptr, 0, &buf, /*expiry_tick=*/123);
+  DecodedObject obj;
+  ASSERT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
+  EXPECT_EQ(obj.expiry_tick, 123u);
+  EXPECT_FALSE(obj.ExpiredAt(122));
+  EXPECT_TRUE(obj.ExpiredAt(123));
+  EXPECT_TRUE(obj.ExpiredAt(10'000));
+  // expiry 0 never expires.
+  EncodeObject("k", "v", nullptr, 0, &buf, 0);
+  ASSERT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
+  EXPECT_FALSE(obj.ExpiredAt(UINT64_MAX));
 }
 
 TEST(ObjectTest, ExtensionWordsPreserved) {
@@ -49,11 +66,11 @@ TEST(ObjectTest, EmptyKeyAndValue) {
 }
 
 TEST(ObjectTest, BlockCountMatchesSize) {
-  EXPECT_EQ(ObjectBlocks(0, 0, 0), 1);       // 8-byte header -> 1 block
-  EXPECT_EQ(ObjectBlocks(8, 48, 0), 1);      // exactly 64 bytes
-  EXPECT_EQ(ObjectBlocks(8, 49, 0), 2);      // one byte over
+  EXPECT_EQ(ObjectBlocks(0, 0, 0), 1);       // 16-byte header+expiry -> 1 block
+  EXPECT_EQ(ObjectBlocks(8, 40, 0), 1);      // exactly 64 bytes
+  EXPECT_EQ(ObjectBlocks(8, 41, 0), 2);      // one byte over
   EXPECT_EQ(ObjectBlocks(17, 232, 0), 5);    // the benches' 256-byte KV pair
-  EXPECT_EQ(ObjectBlocks(0, 0, 2), 1);       // 8 + 16 bytes of extensions
+  EXPECT_EQ(ObjectBlocks(0, 0, 2), 1);       // 16 + 16 bytes of extensions
 }
 
 TEST(ObjectTest, DecodeRejectsTruncatedBuffers) {

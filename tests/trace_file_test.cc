@@ -48,12 +48,13 @@ TEST(TraceFileTest, ParsesTwitterFormat) {
       "4,kAAA,4,0,9,delete,0\n");
   TraceFileStats stats;
   const Trace trace = ParseTrace(in, &stats);
-  ASSERT_EQ(trace.size(), 4u);
-  EXPECT_EQ(stats.skipped, 1u) << "delete is not replayed";
+  ASSERT_EQ(trace.size(), 5u);
+  EXPECT_EQ(stats.skipped, 0u) << "delete replays as a typed op";
   EXPECT_EQ(trace[0].op, Op::kGet);
   EXPECT_EQ(trace[1].op, Op::kUpdate);
   EXPECT_EQ(trace[2].op, Op::kGet);
   EXPECT_EQ(trace[3].op, Op::kInsert);
+  EXPECT_EQ(trace[4].op, Op::kDelete);
   EXPECT_EQ(trace[0].key, trace[2].key);
 }
 
@@ -80,7 +81,9 @@ TEST(TraceFileTest, HandlesCrlfLineEndings) {
 }
 
 TEST(TraceFileTest, WriteParseRoundTrip) {
-  Trace original = {{Op::kGet, 0}, {Op::kUpdate, 1}, {Op::kGet, 0}, {Op::kInsert, 2}};
+  Trace original = {{Op::kGet, 0},    {Op::kUpdate, 1}, {Op::kGet, 0},
+                    {Op::kInsert, 2}, {Op::kDelete, 1}, {Op::kExpire, 0},
+                    {Op::kMultiGet, 2}};
   std::ostringstream out;
   WriteTraceFile(original, out);
   std::istringstream in(out.str());
