@@ -33,6 +33,18 @@ inline void PrintHeader(const char* figure, const char* what) {
               "RPC 1.2us/op/core\n");
 }
 
+// Machine-readable result row: scripts/run_benches.sh collects every
+// BENCH_JSON line of a bench's stdout into bench/out/BENCH_<name>.json, so
+// CI and future PRs can diff ops / hit rate / nearest-rank p50/p99 without
+// parsing the human-oriented tables.
+inline void EmitBenchJson(const char* bench, const char* label, const sim::RunResult& r) {
+  std::printf("BENCH_JSON {\"bench\": \"%s\", \"label\": \"%s\", \"ops\": %llu, "
+              "\"throughput_mops\": %.6f, \"hit_rate\": %.6f, \"p50_us\": %.3f, "
+              "\"p99_us\": %.3f}\n",
+              bench, label, static_cast<unsigned long long>(r.ops), r.throughput_mops,
+              r.hit_rate, r.p50_us, r.p99_us);
+}
+
 inline dm::PoolConfig MakePoolConfig(uint64_t capacity_objects, int controller_cores = 1,
                                      bool costed = true) {
   dm::PoolConfig config;

@@ -70,6 +70,9 @@ int main(int argc, char** argv) {
                   r.throughput_mops, r.hit_rate * 100.0,
                   static_cast<unsigned long long>(r.nic_messages),
                   static_cast<unsigned long long>(r.nic_doorbells));
+      char label[64];
+      std::snprintf(label, sizeof(label), "threads=%d,batch=%zu", threads, batch);
+      bench::EmitBenchJson("sharded_engine", label, r);
     }
   }
   std::printf("\n# expected shape: hit_pct constant down the threads column; batched rows\n"

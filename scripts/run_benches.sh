@@ -1,8 +1,14 @@
 #!/usr/bin/env bash
-# Builds Release and runs every fig* bench (plus the sharded-engine sweep),
-# capturing each bench's stdout under bench/out/ and writing a JSON manifest
-# (name, exit code, wall seconds, output path) to bench/out/summary.json —
-# the seed of the repo's performance trajectory across PRs.
+# Builds Release and runs every fig* bench plus the sharded-engine and
+# elastic-scaling sweeps, capturing each bench's stdout under bench/out/ and
+# writing a JSON manifest (name, exit code, wall seconds, output path) to
+# bench/out/summary.json — the seed of the repo's performance trajectory
+# across PRs.
+#
+# Benches that print machine-readable "BENCH_JSON {...}" lines (see
+# bench::EmitBenchJson: ops, throughput, hit rate, nearest-rank p50/p99) get
+# those rows collected into bench/out/BENCH_<name>.json, so CI and future PRs
+# can diff perf numbers without parsing the human tables.
 #
 # Usage: scripts/run_benches.sh [--scale=N]
 # Extra args are forwarded to every bench binary.
@@ -21,7 +27,7 @@ summary="${out_dir}/summary.json"
 echo "[" > "${summary}"
 first=1
 
-for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine; do
+for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine "${build_dir}"/elastic_scaling; do
   [ -x "${bench}" ] || continue
   name="$(basename "${bench}")"
   out_file="${out_dir}/${name}.txt"
@@ -37,6 +43,17 @@ for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine; do
          "${name}" "${status}" "${seconds}" "${name}" >> "${summary}"
   if [ "${status}" -ne 0 ]; then
     echo "   FAILED (exit ${status}) — see ${out_file}"
+  fi
+  # Collect the bench's machine-readable rows (if it emits any) into a JSON
+  # array at bench/out/BENCH_<name>.json.
+  if grep -q '^BENCH_JSON ' "${out_file}"; then
+    bench_json="${out_dir}/BENCH_${name}.json"
+    {
+      echo "["
+      grep '^BENCH_JSON ' "${out_file}" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/'
+      echo "]"
+    } > "${bench_json}"
+    echo "   wrote ${bench_json}"
   fi
 done
 

@@ -42,11 +42,37 @@ CliqueMapServer::CliqueMapServer(dm::MemoryPool* pool, const CliqueMapConfig& co
                     [this](std::string_view request) { return HandleDelete(request); });
   pool->RegisterRpc(kRpcCmExpire,
                     [this](std::string_view request) { return HandleExpire(request); });
+  pool->RegisterRpc(kRpcCmResize,
+                    [this](std::string_view request) { return HandleResize(request); });
 }
 
 uint64_t CliqueMapServer::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return index_.size();
+}
+
+uint64_t CliqueMapServer::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::string CliqueMapServer::HandleResize(std::string_view request) {
+  if (request.size() != 8) {
+    return SetResponse(false, 0);  // malformed: reject
+  }
+  uint64_t capacity = 0;
+  std::memcpy(&capacity, request.data(), 8);
+  if (capacity == 0) {
+    return SetResponse(false, 0);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  uint64_t evictions = 0;
+  while (index_.size() > capacity_) {
+    EvictOneLocked();
+    evictions++;
+  }
+  return SetResponse(true, evictions);
 }
 
 uint64_t CliqueMapServer::AllocBlocksLocked(int blocks) {
@@ -332,6 +358,27 @@ bool CliqueMapClient::DoExpire(std::string_view key, uint64_t ttl_ticks) {
   std::memcpy(request.data() + 8, key.data(), key.size());
   const std::string response =
       verbs_.Rpc(kRpcCmExpire, request, server_->config().set_service_us);
+  return !response.empty() && response[0] == '\1';
+}
+
+bool CliqueMapClient::ResizeCapacity(uint64_t capacity_objects) {
+  std::string request(8, '\0');
+  std::memcpy(request.data(), &capacity_objects, 8);
+  const std::string response =
+      verbs_.Rpc(kRpcCmResize, request, server_->config().set_service_us);
+  if (response.size() >= 9) {
+    uint64_t evictions = 0;
+    std::memcpy(&evictions, response.data() + 1, 8);
+    counters_.evictions += evictions;
+    // The shrink's precise evictions run on the MN CPU; their count is only
+    // known from the response, so the per-entry structure cost (same rate as
+    // the access-info merge) is charged to the caller's clock after the fact
+    // — otherwise a 100k-object evict-down would look as cheap as one Set.
+    if (evictions > 0) {
+      ctx_->clock().AdvanceUs(server_->config().sync_service_us_per_entry *
+                              static_cast<double>(evictions));
+    }
+  }
   return !response.empty() && response[0] == '\1';
 }
 

@@ -37,6 +37,9 @@ inline constexpr uint32_t kRpcCmSet = 10;
 inline constexpr uint32_t kRpcCmSync = 11;
 inline constexpr uint32_t kRpcCmDelete = 12;
 inline constexpr uint32_t kRpcCmExpire = 13;
+// Elastic scaling: the MN CPU rewrites its capacity and — being the only
+// writer of the caching structure — evicts down precisely on shrink.
+inline constexpr uint32_t kRpcCmResize = 14;
 
 // Host-side server. Owns the index layout inside the pool's arena (so client
 // Gets can RMA-read it) and the precise caching structure. Construct once.
@@ -45,6 +48,7 @@ class CliqueMapServer {
   CliqueMapServer(dm::MemoryPool* pool, const CliqueMapConfig& config);
 
   uint64_t size() const;
+  uint64_t capacity() const;
   const CliqueMapConfig& config() const { return config_; }
 
  private:
@@ -54,6 +58,7 @@ class CliqueMapServer {
   std::string HandleSync(std::string_view request);
   std::string HandleDelete(std::string_view request);
   std::string HandleExpire(std::string_view request);
+  std::string HandleResize(std::string_view request);
 
   // Precondition: mu_ held.
   void TouchLocked(uint64_t hash, uint64_t count);
@@ -97,6 +102,10 @@ class CliqueMapClient : public sim::CacheClient {
   sim::ClientCounters counters() const override { return counters_; }
   void Finish() override;
   void ResetForMeasurement() override;
+
+  // Elastic scaling: one RPC; the server CPU evicts down precisely on shrink
+  // (evictions are reported back and surface in counters()).
+  bool ResizeCapacity(uint64_t capacity_objects) override;
 
  private:
   bool DoGet(std::string_view key, std::string* value);

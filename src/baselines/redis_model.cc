@@ -66,6 +66,14 @@ void RedisModel::Resize(int shards) {
   migration_remaining_s_ = moved_keys / (config_.migration_keys_per_s_per_shard * movers);
 }
 
+void RedisModel::ResizeToCapacityObjects(uint64_t capacity_objects,
+                                         uint64_t objects_per_shard) {
+  objects_per_shard = std::max<uint64_t>(1, objects_per_shard);
+  const uint64_t shards =
+      std::max<uint64_t>(1, (capacity_objects + objects_per_shard - 1) / objects_per_shard);
+  Resize(static_cast<int>(shards));
+}
+
 RedisSample RedisModel::Tick(double dt) {
   time_s_ += dt;
   const bool migrating = migration_remaining_s_ > 0.0;
@@ -214,6 +222,24 @@ void RedisClusterClient::ExecuteBatch(std::span<const sim::CacheOp> ops,
     }
     i = run_end;
   }
+}
+
+bool RedisClusterClient::ResizeCapacity(uint64_t capacity_objects) {
+  if (capacity_objects == 0) {
+    return false;
+  }
+  config_.capacity_objects = capacity_objects;
+  capacity_per_shard_ = std::max<uint64_t>(
+      1, capacity_objects / static_cast<uint64_t>(shards_.size()));
+  // One admin command round trip; the per-shard evictions run server-side.
+  ctx_->clock().AdvanceUs(config_.rtt_us + config_.service_us);
+  for (Shard& shard : shards_) {
+    while (shard.map.size() > capacity_per_shard_ && shard.lru.size() > 0) {
+      shard.map.erase(shard.lru.EvictVictim());
+      counters_.evictions++;
+    }
+  }
+  return true;
 }
 
 void RedisClusterClient::ResetForMeasurement() {

@@ -56,6 +56,12 @@ class RedisModel {
   // the new shard map takes effect when migration completes.
   void Resize(int shards);
 
+  // Capacity-oriented resize: a monolithic cluster scales memory by adding
+  // or removing whole nodes, so a capacity target in objects maps to the
+  // nearest whole shard count (ceil; at least one shard) and pays the same
+  // migration before the new capacity takes effect.
+  void ResizeToCapacityObjects(uint64_t capacity_objects, uint64_t objects_per_shard);
+
   // Advances the model by dt seconds and returns the interval's metrics.
   RedisSample Tick(double dt);
 
@@ -109,6 +115,11 @@ class RedisClusterClient : public sim::CacheClient {
   rdma::ClientContext& ctx() override { return *ctx_; }
   sim::ClientCounters counters() const override { return counters_; }
   void ResetForMeasurement() override;
+
+  // Elastic scaling: re-splits the aggregate capacity over the fixed shard
+  // set and evicts each shard's LRU tail on shrink. One admin round trip is
+  // charged; evictions surface in counters().
+  bool ResizeCapacity(uint64_t capacity_objects) override;
 
   uint64_t cached_objects() const;
 

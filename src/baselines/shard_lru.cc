@@ -113,6 +113,53 @@ bool ShardLruClient::RemoveEntry(uint64_t hash) {
   return removed;
 }
 
+bool ShardLruClient::EvictShardVictim(uint64_t shard_sel) {
+  bool evicted = false;
+  WithShardLock(shard_sel, [this, shard_sel, &evicted] {
+    auto& shard = *dir_->shards_[shard_sel % dir_->config_.num_shards];
+    if (shard.lru.size() == 0) {
+      return;
+    }
+    const uint64_t victim = shard.lru.EvictVictim();
+    const auto it = shard.index.find(victim);
+    if (it == shard.index.end()) {
+      return;
+    }
+    // Clear the victim's slot and free its blocks (verbs under lock).
+    verbs_.CompareSwap(it->second.slot_addr + ht::kAtomicOff,
+                       pool_->node().arena().ReadU64(it->second.slot_addr + ht::kAtomicOff),
+                       0);
+    alloc_.FreeBlocks(it->second.obj_addr, it->second.blocks);
+    shard.index.erase(it);
+    dir_->total_objects_.fetch_sub(1, std::memory_order_relaxed);
+    evicted = true;
+  });
+  if (evicted) {
+    counters_.evictions++;
+  }
+  return evicted;
+}
+
+bool ShardLruClient::ResizeCapacity(uint64_t capacity_objects) {
+  dir_->SetCapacity(capacity_objects);
+  if (!dir_->config_.maintain_list) {
+    return false;  // KVS mode has no caching structure to shrink through
+  }
+  // Evict round-robin over the shards until the aggregate fits; a full sweep
+  // that evicts nothing means every remaining shard is already empty.
+  const int num_shards = dir_->config_.num_shards;
+  while (dir_->total_objects() > capacity_objects) {
+    bool any = false;
+    for (int s = 0; s < num_shards && dir_->total_objects() > capacity_objects; ++s) {
+      any = EvictShardVictim(static_cast<uint64_t>(s)) || any;
+    }
+    if (!any) {
+      break;
+    }
+  }
+  return dir_->total_objects() <= capacity_objects;
+}
+
 bool ShardLruClient::DoGet(std::string_view key, std::string* value) {
   counters_.gets++;
   const uint64_t hash = HashKey(key);
@@ -245,30 +292,9 @@ bool ShardLruClient::DoSet(std::string_view key, std::string_view value, uint64_
     uint64_t addr = alloc_.AllocBlocks(blocks);
     if (addr == 0 && dir_->config_.maintain_list) {
       // Evict the LRU victim of this key's shard to free space.
-      bool evicted = false;
-      WithShardLock(hash, [this, hash, &evicted] {
-        auto& shard = *dir_->shards_[hash % dir_->config_.num_shards];
-        if (shard.lru.size() == 0) {
-          return;
-        }
-        const uint64_t victim = shard.lru.EvictVictim();
-        const auto it = shard.index.find(victim);
-        if (it == shard.index.end()) {
-          return;
-        }
-        // Clear the victim's slot and free its blocks (verbs under lock).
-        verbs_.CompareSwap(it->second.slot_addr + ht::kAtomicOff,
-                           pool_->node().arena().ReadU64(it->second.slot_addr + ht::kAtomicOff),
-                           0);
-        alloc_.FreeBlocks(it->second.obj_addr, it->second.blocks);
-        shard.index.erase(it);
-        dir_->total_objects_.fetch_sub(1, std::memory_order_relaxed);
-        evicted = true;
-      });
-      if (!evicted) {
+      if (!EvictShardVictim(hash)) {
         return false;
       }
-      counters_.evictions++;
       addr = alloc_.AllocBlocks(blocks);
     }
     if (addr == 0) {
@@ -311,30 +337,10 @@ bool ShardLruClient::DoSet(std::string_view key, std::string_view value, uint64_
         }
       });
       // Capacity enforcement: evict while over budget.
-      while (dir_->total_objects_.load(std::memory_order_relaxed) > dir_->capacity_) {
-        bool evicted = false;
-        WithShardLock(hash, [this, hash, &evicted] {
-          auto& shard = *dir_->shards_[hash % dir_->config_.num_shards];
-          if (shard.lru.size() == 0) {
-            return;
-          }
-          const uint64_t victim = shard.lru.EvictVictim();
-          const auto it = shard.index.find(victim);
-          if (it == shard.index.end()) {
-            return;
-          }
-          verbs_.CompareSwap(
-              it->second.slot_addr + ht::kAtomicOff,
-              pool_->node().arena().ReadU64(it->second.slot_addr + ht::kAtomicOff), 0);
-          alloc_.FreeBlocks(it->second.obj_addr, it->second.blocks);
-          shard.index.erase(it);
-          dir_->total_objects_.fetch_sub(1, std::memory_order_relaxed);
-          evicted = true;
-        });
-        if (!evicted) {
+      while (dir_->total_objects() > dir_->capacity()) {
+        if (!EvictShardVictim(hash)) {
           break;
         }
-        counters_.evictions++;
       }
     }
     return true;

@@ -17,6 +17,7 @@
 #ifndef DITTO_BASELINES_SHARD_LRU_H_
 #define DITTO_BASELINES_SHARD_LRU_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -47,7 +48,13 @@ class ShardLruDirectory {
   ShardLruDirectory(dm::MemoryPool* pool, const ShardLruConfig& config);
 
   const ShardLruConfig& config() const { return config_; }
-  uint64_t capacity() const { return capacity_; }
+  uint64_t capacity() const { return capacity_.load(std::memory_order_relaxed); }
+  // Elastic scaling: publishes a new aggregate capacity. Enforcement (the
+  // evict-down) is performed by the clients, which own the verbs.
+  void SetCapacity(uint64_t capacity) {
+    capacity_.store(capacity, std::memory_order_relaxed);
+  }
+  uint64_t total_objects() const { return total_objects_.load(std::memory_order_relaxed); }
 
  private:
   friend class ShardLruClient;
@@ -66,7 +73,7 @@ class ShardLruDirectory {
   };
 
   ShardLruConfig config_;
-  uint64_t capacity_;
+  std::atomic<uint64_t> capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> total_objects_{0};
 };
@@ -83,6 +90,11 @@ class ShardLruClient : public sim::CacheClient {
   sim::ClientCounters counters() const override { return counters_; }
   void ResetForMeasurement() override;
 
+  // Elastic scaling: publishes the new aggregate capacity through the shared
+  // directory and evicts LRU victims round-robin across the shards until the
+  // cached count fits (no-op on expand). Idempotent across clients.
+  bool ResizeCapacity(uint64_t capacity_objects) override;
+
   uint64_t lock_retries() const { return lock_retries_; }
 
  private:
@@ -95,6 +107,10 @@ class ShardLruClient : public sim::CacheClient {
   // Removes `hash`'s entry from its shard's list/index (under the shard
   // lock), clears the slot, and frees the blocks. Returns true if removed.
   bool RemoveEntry(uint64_t hash);
+
+  // Evicts the LRU victim of shard `shard_sel % num_shards` under its lock,
+  // clearing the slot and freeing the blocks. Returns true if one went.
+  bool EvictShardVictim(uint64_t shard_sel);
 
   // Performs the locked critical section around `body`, charging lock
   // acquisition (with retries), the body's verbs, and the release.

@@ -1,5 +1,6 @@
 #include "common/histogram.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -59,11 +60,18 @@ double Histogram::PercentileNs(double p) const {
   if (count_ == 0) {
     return 0.0;
   }
-  const auto target = static_cast<uint64_t>(p / 100.0 * static_cast<double>(count_));
+  // Nearest-rank percentile: the bucket holding the ceil(p/100 * n)-th
+  // smallest sample. floor() with a strict `seen > target` comparison landed
+  // one rank too high (p99 over 100 samples reported the maximum's bucket).
+  // The epsilon keeps ceil from overshooting when p/100 * n is an integer
+  // whose double product rounds up (0.55 * 100 == 55.000000000000007).
+  auto target =
+      static_cast<uint64_t>(std::ceil(p / 100.0 * static_cast<double>(count_) - 1e-9));
+  target = std::min(std::max<uint64_t>(target, 1), count_);
   uint64_t seen = 0;
   for (int i = 0; i < kNumBuckets; ++i) {
     seen += buckets_[i];
-    if (seen > target) {
+    if (seen >= target) {
       return BucketUpperNs(i);
     }
   }

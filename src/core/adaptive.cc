@@ -7,6 +7,8 @@
 namespace ditto::core {
 namespace {
 
+constexpr double kWeightFloor = 1e-3;
+
 void Normalize(std::vector<double>& w) {
   double sum = 0.0;
   for (const double x : w) {
@@ -20,10 +22,46 @@ void Normalize(std::vector<double>& w) {
   }
   for (double& x : w) {
     x /= sum;
-    // Keep every expert revivable: floor the weight (LeCaR does the same).
-    if (x < 1e-3) {
-      x = 1e-3;
+  }
+  // Keep every expert revivable: floor the weight (LeCaR does the same), then
+  // redistribute the remaining mass over the unfloored entries so the vector
+  // is still a distribution — ChooseExpert samples it and the controller
+  // returns it to clients, so an unnormalized floored vector would bias both.
+  // Rescaling can push a near-floor entry below the floor, so iterate; each
+  // pass floors at least one more entry, bounding the loop by w.size().
+  for (size_t pass = 0; pass < w.size(); ++pass) {
+    size_t floored = 0;
+    double free_mass = 0.0;
+    for (const double x : w) {
+      if (x <= kWeightFloor) {
+        floored++;
+      } else {
+        free_mass += x;
+      }
     }
+    if (floored == 0) {
+      return;  // nothing clamped: the plain normalization already sums to 1
+    }
+    const double target_free = 1.0 - static_cast<double>(floored) * kWeightFloor;
+    if (free_mass <= 0.0 || target_free <= 0.0) {
+      break;  // degenerate (every expert at the floor): fall back to uniform
+    }
+    const double scale = target_free / free_mass;
+    bool rescale_crossed_floor = false;
+    for (double& x : w) {
+      if (x <= kWeightFloor) {
+        x = kWeightFloor;
+      } else {
+        x *= scale;
+        rescale_crossed_floor = rescale_crossed_floor || x < kWeightFloor;
+      }
+    }
+    if (!rescale_crossed_floor) {
+      return;  // sum == floored * kWeightFloor + target_free == 1
+    }
+  }
+  for (double& x : w) {
+    x = 1.0 / static_cast<double>(w.size());
   }
 }
 
@@ -33,7 +71,13 @@ std::string EncodeDoubles(const std::vector<double>& values) {
   return out;
 }
 
+// Decodes a packed array of doubles. A payload whose length is not a
+// multiple of 8 is malformed (trailing bytes would be silently dropped), so
+// it decodes to an empty vector and callers treat it as a rejection.
 std::vector<double> DecodeDoubles(std::string_view in) {
+  if (in.size() % 8 != 0) {
+    return {};
+  }
   std::vector<double> out(in.size() / 8);
   std::memcpy(out.data(), in.data(), out.size() * 8);
   return out;
@@ -50,8 +94,21 @@ AdaptiveController::AdaptiveController(dm::MemoryPool* pool, int num_experts)
 std::string AdaptiveController::HandleUpdate(std::string_view request) {
   const std::vector<double> penalties = DecodeDoubles(request);
   std::lock_guard<std::mutex> lock(mu_);
+  // A malformed payload (trailing bytes, wrong expert count) is rejected with
+  // an empty response and must not perturb the weights: a client speaking a
+  // different expert configuration would otherwise silently skew everyone.
+  if (penalties.size() != weights_.size()) {
+    rejected_++;
+    return std::string();
+  }
+  for (double p : penalties) {
+    if (!std::isfinite(p)) {
+      rejected_++;
+      return std::string();
+    }
+  }
   updates_++;
-  for (size_t i = 0; i < weights_.size() && i < penalties.size(); ++i) {
+  for (size_t i = 0; i < weights_.size(); ++i) {
     // Penalties arrive pre-summed (the compression described in §4.3.2).
     weights_[i] *= std::exp(-penalties[i]);
   }

@@ -39,6 +39,8 @@ class AdaptiveController {
 
   std::vector<double> weights() const;
   uint64_t updates_received() const { return updates_; }
+  // Malformed weight-update payloads rejected (wrong length, non-finite).
+  uint64_t updates_rejected() const { return rejected_; }
 
  private:
   std::string HandleUpdate(std::string_view request);
@@ -46,6 +48,7 @@ class AdaptiveController {
   mutable std::mutex mu_;
   std::vector<double> weights_;
   uint64_t updates_ = 0;
+  uint64_t rejected_ = 0;
 };
 
 // Per-client adaptive state.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 #include <limits>
 
 #include "common/hash.h"
@@ -594,6 +595,31 @@ bool DittoClient::Expire(std::string_view key, uint64_t ttl_ticks) {
     return true;
   }
   return false;
+}
+
+bool DittoClient::ResizeCapacity(uint64_t capacity_objects) {
+  std::string request(8, '\0');
+  std::memcpy(request.data(), &capacity_objects, 8);
+  const std::string response = verbs_.Rpc(dm::kRpcResize, request);
+  if (response.size() != 8) {
+    return false;  // controller rejected the resize
+  }
+  // Shrink path: evict down with the sampled-eviction path until the cached
+  // count fits. The superblock is re-read every round so evictions performed
+  // by concurrent clients (or a racing further resize) are observed instead
+  // of over-evicting.
+  while (true) {
+    const SuperblockView super = ReadSuperblock();
+    if (super.object_count <= super.capacity) {
+      return true;
+    }
+    const uint64_t over = super.object_count - super.capacity;
+    for (uint64_t i = 0; i < over; ++i) {
+      if (!EvictOne()) {
+        return false;  // nothing evictable left but the count still exceeds
+      }
+    }
+  }
 }
 
 size_t DittoClient::MultiGet(size_t n, const std::string_view* keys,

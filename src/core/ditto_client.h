@@ -109,6 +109,14 @@ class DittoClient {
   // false if the key is not cached.
   bool Expire(std::string_view key, uint64_t ttl_ticks);
 
+  // Elastic scaling: asks the controller to rewrite the pool's capacity (the
+  // kRpcResize RPC), then — on shrink — evicts down to the new capacity via
+  // the same sampled multi-expert eviction path normal admissions use, so the
+  // surviving working set is the one the experts would have kept. Expansion
+  // takes effect immediately: the next admissions simply stop evicting.
+  // Returns false if the controller rejected the resize or eviction stalled.
+  bool ResizeCapacity(uint64_t capacity_objects);
+
   // Pipelined lookup of keys[0..n): per-key semantics of Get, but the whole
   // run's async metadata verbs are chained behind a single NIC doorbell.
   // hits[i] receives the per-key outcome; values may be nullptr, or an array

@@ -101,6 +101,16 @@ size_t ShardedDittoClient::MultiGet(size_t n, const std::string_view* keys,
   return hit_count;
 }
 
+bool ShardedDittoClient::ResizeCapacity(uint64_t total_capacity_objects) {
+  bool ok = true;
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    ok = clients_[i]->ResizeCapacity(
+             dm::CapacityShare(total_capacity_objects, i, clients_.size())) &&
+         ok;
+  }
+  return ok;
+}
+
 void ShardedDittoClient::FlushBuffers() {
   for (const auto& client : clients_) {
     client->FlushBuffers();

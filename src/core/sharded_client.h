@@ -76,6 +76,12 @@ class ShardedDittoClient {
   // as DittoClient::MultiGet). Returns the number of hits.
   size_t MultiGet(size_t n, const std::string_view* keys, std::string* const* values,
                   bool* hits);
+  // Elastic scaling: splits an aggregate capacity evenly over the nodes with
+  // dm::CapacityShare (each node keeps >= 1 object, so an aggregate below the
+  // node count rounds up to one per node) and resizes every node through its
+  // kRpcResize controller RPC, evicting down on shrink. Returns false if any
+  // node rejected or stalled.
+  bool ResizeCapacity(uint64_t total_capacity_objects);
   void FlushBuffers();
   // Doorbell-batches async metadata verbs on every per-node QP.
   void SetBatchOps(size_t ops);

@@ -25,6 +25,24 @@ MemoryPool::MemoryPool(const PoolConfig& config)
 
   node_.RegisterRpc(kRpcAllocSegment,
                     [this](std::string_view request) { return HandleAllocSegment(request); });
+  node_.RegisterRpc(kRpcResize,
+                    [this](std::string_view request) { return HandleResize(request); });
+}
+
+std::string MemoryPool::HandleResize(std::string_view request) {
+  if (request.size() != 8) {
+    return std::string();  // malformed: reject, leave the capacity untouched
+  }
+  uint64_t capacity = 0;
+  std::memcpy(&capacity, request.data(), 8);
+  if (capacity == 0) {
+    return std::string();  // a zero capacity would wedge every admission
+  }
+  const uint64_t previous = node_.arena().ReadU64(kCapacityAddr);
+  node_.arena().WriteU64(kCapacityAddr, capacity);
+  std::string response(8, '\0');
+  std::memcpy(response.data(), &previous, 8);
+  return response;
 }
 
 std::string MemoryPool::HandleAllocSegment(std::string_view request) {

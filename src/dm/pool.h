@@ -47,6 +47,26 @@ inline constexpr size_t kSuperblockBytes = 4096;
 // RPC handler ids served by the controller.
 inline constexpr uint32_t kRpcAllocSegment = 1;
 inline constexpr uint32_t kRpcUpdateWeights = 2;
+// Elastic scaling: rewrites kCapacityAddr in the superblock. Request is the
+// new capacity in objects (u64, must be non-zero); response is the previous
+// capacity (u64). Malformed requests get an empty (rejecting) response.
+// Clients observe the new value on their next superblock READ and evict down
+// themselves on shrink — the weak controller only flips the number.
+inline constexpr uint32_t kRpcResize = 3;
+
+// The even share of an aggregate object capacity owned by node/shard `owner`
+// of `num_owners`: remainder objects go to the lowest-numbered owners, so
+// the split is a pure function of the total. Every owner keeps at least one
+// object (a zero capacity is invalid and would be rejected by kRpcResize),
+// so an aggregate smaller than the owner count is effectively rounded up to
+// one object per owner. Shared by ShardedDittoClient and the sharded replay
+// engine so the two splits can never diverge.
+inline uint64_t CapacityShare(uint64_t total, size_t owner, size_t num_owners) {
+  const uint64_t base = total / num_owners;
+  const uint64_t remainder = total % num_owners;
+  const uint64_t share = base + (owner < remainder ? 1 : 0);
+  return share == 0 ? 1 : share;
+}
 
 struct PoolConfig {
   size_t memory_bytes = 64 << 20;
@@ -94,6 +114,7 @@ class MemoryPool {
 
  private:
   std::string HandleAllocSegment(std::string_view request);
+  std::string HandleResize(std::string_view request);
 
   PoolConfig config_;
   rdma::RemoteNode node_;

@@ -58,6 +58,10 @@ class DittoAdapterBase : public CacheClient {
 
   void SetBatchOps(size_t ops) override { client_.SetBatchOps(ops); }
 
+  bool ResizeCapacity(uint64_t capacity_objects) override {
+    return client_.ResizeCapacity(capacity_objects);
+  }
+
  protected:
   template <typename PoolT>
   DittoAdapterBase(PoolT* pool, rdma::ClientContext* ctx, const core::DittoConfig& config)

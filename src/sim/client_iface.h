@@ -119,6 +119,17 @@ class CacheClient {
   virtual rdma::ClientContext& ctx() = 0;
   virtual ClientCounters counters() const = 0;
 
+  // Elastic scaling: changes this client's view of the cache's capacity (in
+  // objects) at run time, evicting down before returning when shrinking.
+  // Implementations sharing server-side state (a pool superblock, a
+  // directory, a CliqueMap server) make this idempotent, so every client of
+  // one deployment may apply the same step. Clients without a resize path
+  // ignore the call and return false.
+  virtual bool ResizeCapacity(uint64_t capacity_objects) {
+    (void)capacity_objects;
+    return false;
+  }
+
   // Flushes client-side buffers at the end of a run.
   virtual void Finish() {}
   // Clears counters/latency at the warmup/measurement boundary.

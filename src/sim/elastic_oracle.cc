@@ -1,0 +1,44 @@
+#include "sim/elastic_oracle.h"
+
+#include <memory>
+
+#include "policies/precise.h"
+
+namespace ditto::sim {
+
+OracleTrajectory ReplayLruOracle(const workload::Trace& trace, size_t measure_begin,
+                                 const std::vector<ResizeStep>& schedule,
+                                 uint64_t initial_capacity, bool cold_restart) {
+  const std::vector<ResizeStep> steps = NormalizedResizeSchedule(schedule);
+  std::vector<size_t> thresholds;
+  thresholds.reserve(steps.size());
+  for (const ResizeStep& step : steps) {
+    thresholds.push_back(ResizeStepIndex(step.at_op_fraction, measure_begin, trace.size()));
+  }
+
+  OracleTrajectory out;
+  out.gets.assign(steps.size() + 1, 0);
+  out.hits.assign(steps.size() + 1, 0);
+  auto cache = std::make_unique<policy::PreciseCache>(initial_capacity,
+                                                      policy::PrecisePolicyKind::kLru);
+  size_t phase = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    while (phase < thresholds.size() && i >= thresholds[phase]) {
+      if (cold_restart) {
+        cache = std::make_unique<policy::PreciseCache>(steps[phase].capacity_objects,
+                                                       policy::PrecisePolicyKind::kLru);
+      } else {
+        cache->Resize(steps[phase].capacity_objects);
+      }
+      phase++;
+    }
+    const bool hit = cache->Access(trace[i].key);
+    if (i >= measure_begin) {
+      out.gets[phase]++;
+      out.hits[phase] += hit ? 1 : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace ditto::sim

@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "common/rand.h"
+#include "dm/pool.h"
 #include "rdma/verbs.h"
 #include "sim/spsc_queue.h"
 
@@ -20,6 +21,33 @@ size_t RunOptions::ValueBytesFor(uint64_t key) const {
 }
 
 namespace {
+
+// Resize schedule resolved against the measured region [begin, end):
+// absolute trace-index thresholds (sorted ascending) plus the aggregate
+// capacity each step applies.
+struct ResolvedSchedule {
+  std::vector<size_t> thresholds;
+  std::vector<uint64_t> capacities;
+
+  size_t num_phases() const { return thresholds.size() + 1; }
+  // Phase of request index i: the number of thresholds at or below i.
+  size_t PhaseOf(size_t index) const {
+    size_t p = 0;
+    while (p < thresholds.size() && index >= thresholds[p]) {
+      ++p;
+    }
+    return p;
+  }
+};
+
+ResolvedSchedule ResolveSchedule(const RunOptions& options, size_t begin, size_t end) {
+  ResolvedSchedule schedule;
+  for (const ResizeStep& step : NormalizedResizeSchedule(options.resize_schedule)) {
+    schedule.thresholds.push_back(ResizeStepIndex(step.at_op_fraction, begin, end));
+    schedule.capacities.push_back(step.capacity_objects);
+  }
+  return schedule;
+}
 
 // On a Get/MultiGet miss, applies the miss-penalty/set-on-miss policy.
 void HandleMiss(CacheClient* client, std::string_view key, uint64_t raw_key,
@@ -35,9 +63,11 @@ void HandleMiss(CacheClient* client, std::string_view key, uint64_t raw_key,
 }
 
 // Executes one non-fused request on a client as a typed one-op batch,
-// applying the miss-penalty/set-on-miss policy, and records the op latency.
+// applying the miss-penalty/set-on-miss policy, and records the op latency
+// (plus the phase trajectory slice when `phase` is non-null).
 void ExecuteRequest(CacheClient* client, const workload::Request& req, workload::Op op,
-                    const RunOptions& options, const std::string& value) {
+                    const RunOptions& options, const std::string& value,
+                    PhaseResult* phase) {
   rdma::ClientContext& ctx = client->ctx();
   const std::string key = workload::KeyString(req.key);
   const uint64_t begin_ns = ctx.clock().busy_ns();
@@ -64,6 +94,13 @@ void ExecuteRequest(CacheClient* client, const workload::Request& req, workload:
   if (cache_op.kind == OpKind::kGet && !result.hit()) {
     HandleMiss(client, key, req.key, options, value);
   }
+  if (phase != nullptr) {
+    phase->ops++;
+    if (cache_op.kind == OpKind::kGet) {
+      phase->gets++;
+      (result.hit() ? phase->hits : phase->misses)++;
+    }
+  }
   ctx.op_hist().RecordNs(ctx.clock().busy_ns() - begin_ns);
 }
 
@@ -72,7 +109,7 @@ void ExecuteRequest(CacheClient* client, const workload::Request& req, workload:
 // run's mean, as reported by the client).
 void ExecuteMultiGetRun(CacheClient* client, const workload::Trace& trace,
                         const std::vector<uint32_t>& idxs, const RunOptions& options,
-                        const std::string& value) {
+                        const std::string& value, PhaseResult* phase) {
   if (idxs.empty()) {
     return;
   }
@@ -94,6 +131,11 @@ void ExecuteMultiGetRun(CacheClient* client, const workload::Trace& trace,
     if (!results[j].hit()) {
       HandleMiss(client, keys[j], trace[idxs[j]].key, options, value);
     }
+    if (phase != nullptr) {
+      phase->ops++;
+      phase->gets++;
+      (results[j].hit() ? phase->hits : phase->misses)++;
+    }
   }
   const uint64_t total_ns = ctx.clock().busy_ns() - begin_ns;
   for (size_t j = 0; j < idxs.size(); ++j) {
@@ -102,16 +144,32 @@ void ExecuteMultiGetRun(CacheClient* client, const workload::Trace& trace,
 }
 
 // Per-client/per-shard accumulator fusing consecutive kMultiGet requests
-// into pipelined runs of up to options.multiget_batch keys. Fusion state
-// depends only on the owner's private request stream, so replay stays
-// deterministic for any thread count.
+// into pipelined runs of up to options.multiget_batch keys, applying the
+// resize schedule as the owner's stream crosses each step index, and
+// slicing results into the per-phase trajectory. Fusion, resize, and phase
+// state all depend only on the owner's private request stream, so replay
+// stays deterministic for any thread count.
 class OpDispatcher {
  public:
+  // schedule may be null (no resize steps, single-phase accounting). When
+  // split_capacity is set each step applies CapacityShare(total, owner,
+  // num_owners) — the sharded engine's private-cache split; otherwise the
+  // aggregate is applied as-is (shared-state clients apply it idempotently).
   OpDispatcher(CacheClient* client, const workload::Trace& trace, const RunOptions& options,
-               const std::string& value)
-      : client_(client), trace_(trace), options_(options), value_(value) {}
+               const std::string& value, const ResolvedSchedule* schedule = nullptr,
+               size_t owner = 0, size_t num_owners = 1, bool split_capacity = false)
+      : client_(client),
+        trace_(trace),
+        options_(options),
+        value_(value),
+        schedule_(schedule),
+        owner_(owner),
+        num_owners_(num_owners),
+        split_capacity_(split_capacity),
+        phases_(schedule != nullptr ? schedule->num_phases() : 1) {}
 
   void Dispatch(uint32_t index) {
+    AdvancePhase(index);
     const workload::Request& req = trace_[index];
     const workload::Op op = workload::MixedOpAt(req.op, index, options_.op_mix);
     if (op == workload::Op::kMultiGet && options_.multiget_batch > 1) {
@@ -122,23 +180,74 @@ class OpDispatcher {
       return;
     }
     Flush();  // a non-fusable op closes the current run
-    ExecuteRequest(client_, req, op, options_, value_);
+    ExecuteRequest(client_, req, op, options_, value_, &phases_[phase_]);
   }
 
   void Flush() {
     if (!pending_.empty()) {
-      ExecuteMultiGetRun(client_, trace_, pending_, options_, value_);
+      // Every pending index was enqueued in the current phase (AdvancePhase
+      // flushes before the capacity changes), so the run is attributed whole.
+      ExecuteMultiGetRun(client_, trace_, pending_, options_, value_, &phases_[phase_]);
       pending_.clear();
     }
   }
 
+  // Per-phase trajectory of this owner's stream (merged by the caller).
+  const std::vector<PhaseResult>& phases() const { return phases_; }
+
  private:
+  void AdvancePhase(uint32_t index) {
+    if (schedule_ == nullptr) {
+      return;
+    }
+    const size_t target = schedule_->PhaseOf(index);
+    while (phase_ < target) {
+      Flush();  // close the fused run before the capacity changes
+      const uint64_t total = schedule_->capacities[phase_];
+      client_->ResizeCapacity(split_capacity_ ? dm::CapacityShare(total, owner_, num_owners_)
+                                              : total);
+      phase_++;
+    }
+  }
+
   CacheClient* client_;
   const workload::Trace& trace_;
   const RunOptions& options_;
   const std::string& value_;
+  const ResolvedSchedule* schedule_;
+  size_t owner_;
+  size_t num_owners_;
+  bool split_capacity_;
+  size_t phase_ = 0;
+  std::vector<PhaseResult> phases_;
   std::vector<uint32_t> pending_;
 };
+
+// Sums per-owner phase slices into `out` (sized by the caller).
+void MergePhases(const std::vector<PhaseResult>& phases, std::vector<PhaseResult>* out) {
+  if (out == nullptr) {
+    return;
+  }
+  out->resize(std::max(out->size(), phases.size()));
+  for (size_t p = 0; p < phases.size(); ++p) {
+    (*out)[p].ops += phases[p].ops;
+    (*out)[p].gets += phases[p].gets;
+    (*out)[p].hits += phases[p].hits;
+    (*out)[p].misses += phases[p].misses;
+  }
+}
+
+// Labels each merged phase with its schedule capacity and derives hit rates.
+void FinalizePhases(const ResolvedSchedule& schedule, std::vector<PhaseResult>* phases) {
+  phases->resize(schedule.num_phases());
+  for (size_t p = 0; p < phases->size(); ++p) {
+    PhaseResult& phase = (*phases)[p];
+    phase.capacity_objects = p == 0 ? 0 : schedule.capacities[p - 1];
+    phase.hit_rate = phase.gets == 0
+                         ? 0.0
+                         : static_cast<double>(phase.hits) / static_cast<double>(phase.gets);
+  }
+}
 
 // Replays [begin, end) of the trace: client c owns the strided shard
 // begin+c, begin+c+n, ... and the clients' progress is interleaved with the
@@ -148,7 +257,9 @@ class OpDispatcher {
 // timing is virtual, so throughput numbers are unaffected by host
 // scheduling.
 void ReplayInterleaved(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
-                       size_t begin, size_t end, const RunOptions& options) {
+                       size_t begin, size_t end, const RunOptions& options,
+                       const ResolvedSchedule* schedule = nullptr,
+                       std::vector<PhaseResult>* phases_out = nullptr) {
   const size_t n = clients.size();
   const std::string value(std::max(options.value_bytes, options.value_bytes_max), 'v');
   std::vector<size_t> cursor(n);
@@ -157,7 +268,10 @@ void ReplayInterleaved(const std::vector<CacheClient*>& clients, const workload:
   std::vector<int> live;
   for (size_t c = 0; c < n; ++c) {
     cursor[c] = begin + c;
-    dispatch.emplace_back(clients[c], trace, options, value);
+    // Interleaved clients share one deployment, so each applies the
+    // aggregate capacity (idempotent on the shared server state).
+    dispatch.emplace_back(clients[c], trace, options, value, schedule, c, n,
+                          /*split_capacity=*/false);
     if (cursor[c] < end) {
       live.push_back(static_cast<int>(c));
     }
@@ -176,6 +290,9 @@ void ReplayInterleaved(const std::vector<CacheClient*>& clients, const workload:
       live[pick] = live.back();
       live.pop_back();
     }
+  }
+  for (const OpDispatcher& d : dispatch) {
+    MergePhases(d.phases(), phases_out);
   }
 }
 
@@ -266,7 +383,9 @@ RunResult FinishMeasurement(const std::vector<CacheClient*>& clients,
 // t+2T, ... Each shard's requests execute in trace order on its dedicated
 // worker, so per-shard behaviour cannot depend on the thread count.
 void ReplaySharded(const std::vector<CacheClient*>& shards, const workload::Trace& trace,
-                   size_t begin, size_t end, const RunOptions& options) {
+                   size_t begin, size_t end, const RunOptions& options,
+                   const ResolvedSchedule* schedule = nullptr,
+                   std::vector<PhaseResult>* phases_out = nullptr) {
   const size_t num_shards = shards.size();
   const int num_workers =
       std::max(1, std::min<int>(options.threads, static_cast<int>(num_shards)));
@@ -279,19 +398,23 @@ void ReplaySharded(const std::vector<CacheClient*>& shards, const workload::Trac
   }
   std::atomic<bool> dispatch_done{false};
 
+  // One fusion/phase accumulator per shard: fusion, resize, and phase state
+  // follow the shard's private stream, never the worker's drain schedule, so
+  // the replay (and the phase trajectory merged below) is identical for any
+  // thread count. Shard s is touched only by worker s % num_workers, so the
+  // shared vector needs no locking; each shard applies its even share of the
+  // schedule's aggregate capacity (the shards are independent caches).
+  std::vector<std::unique_ptr<OpDispatcher>> dispatch(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    dispatch[s] = std::make_unique<OpDispatcher>(shards[s], trace, options, value, schedule,
+                                                 s, num_shards, /*split_capacity=*/true);
+  }
+
   std::vector<std::thread> workers;
   workers.reserve(num_workers);
   for (int t = 0; t < num_workers; ++t) {
     workers.emplace_back([&, t] {
       constexpr int kDrainBurst = 64;
-      // One fusion accumulator per owned shard: fusion state follows the
-      // shard's private stream, never the worker's drain schedule, so the
-      // fused runs are identical for any thread count.
-      std::vector<std::unique_ptr<OpDispatcher>> dispatch(num_shards);
-      for (size_t s = static_cast<size_t>(t); s < num_shards;
-           s += static_cast<size_t>(num_workers)) {
-        dispatch[s] = std::make_unique<OpDispatcher>(shards[s], trace, options, value);
-      }
       while (true) {
         bool made_progress = false;
         for (size_t s = static_cast<size_t>(t); s < num_shards;
@@ -335,9 +458,27 @@ void ReplaySharded(const std::vector<CacheClient*>& shards, const workload::Trac
   for (std::thread& worker : workers) {
     worker.join();
   }
+  for (const auto& d : dispatch) {
+    MergePhases(d->phases(), phases_out);
+  }
 }
 
 }  // namespace
+
+std::vector<ResizeStep> NormalizedResizeSchedule(std::vector<ResizeStep> schedule) {
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const ResizeStep& a, const ResizeStep& b) {
+                     return a.at_op_fraction < b.at_op_fraction;
+                   });
+  for (ResizeStep& step : schedule) {
+    step.at_op_fraction = std::min(std::max(step.at_op_fraction, 0.0), 1.0);
+  }
+  return schedule;
+}
+
+size_t ResizeStepIndex(double at_op_fraction, size_t begin, size_t end) {
+  return begin + static_cast<size_t>(at_op_fraction * static_cast<double>(end - begin));
+}
 
 uint32_t ShardForKey(uint64_t key, size_t num_shards, uint64_t seed) {
   return SeededPartition(key, num_shards, seed);
@@ -366,12 +507,17 @@ RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Tra
     }
   }
 
+  const ResolvedSchedule schedule = ResolveSchedule(options, measure_begin, trace.size());
   const MeasureBaseline base = BeginMeasurement(clients, nodes);
-  ReplayInterleaved(clients, trace, measure_begin, trace.size(), options);
+  std::vector<PhaseResult> phases;
+  ReplayInterleaved(clients, trace, measure_begin, trace.size(), options, &schedule, &phases);
   for (CacheClient* client : clients) {
     client->Finish();
   }
-  return FinishMeasurement(clients, nodes, base, trace.size() - measure_begin);
+  RunResult result = FinishMeasurement(clients, nodes, base, trace.size() - measure_begin);
+  FinalizePhases(schedule, &phases);
+  result.phases = std::move(phases);
+  return result;
 }
 
 RunResult RunTraceSharded(const std::vector<CacheClient*>& shards, const workload::Trace& trace,
@@ -393,12 +539,17 @@ RunResult RunTraceSharded(const std::vector<CacheClient*>& shards, const workloa
     }
   }
 
+  const ResolvedSchedule schedule = ResolveSchedule(options, measure_begin, trace.size());
   const MeasureBaseline base = BeginMeasurement(shards, nodes);
-  ReplaySharded(shards, trace, measure_begin, trace.size(), options);
+  std::vector<PhaseResult> phases;
+  ReplaySharded(shards, trace, measure_begin, trace.size(), options, &schedule, &phases);
   for (CacheClient* shard : shards) {
     shard->Finish();
   }
-  return FinishMeasurement(shards, nodes, base, trace.size() - measure_begin);
+  RunResult result = FinishMeasurement(shards, nodes, base, trace.size() - measure_begin);
+  FinalizePhases(schedule, &phases);
+  result.phases = std::move(phases);
+  return result;
 }
 
 std::string FormatResult(const std::string& label, const RunResult& r) {

@@ -23,6 +23,18 @@
 
 namespace ditto::sim {
 
+// One step of a deterministic elastic-scaling schedule: when the replay
+// reaches request index `measure_begin + at_op_fraction * measured_ops`, the
+// cache's aggregate capacity becomes `capacity_objects`. Steps are applied
+// at identical request indices in RunTrace and RunTraceSharded; in the
+// sharded engine every shard applies its even share of the aggregate when
+// its own (thread-private) stream crosses the index, so the whole trajectory
+// is invariant to the thread count.
+struct ResizeStep {
+  double at_op_fraction = 0.0;   // in [0, 1), fraction of the measured replay
+  uint64_t capacity_objects = 0; // aggregate capacity after the step
+};
+
 struct RunOptions {
   size_t value_bytes = 232;
   // When > value_bytes, each key gets a deterministic (hash-derived) value
@@ -51,7 +63,26 @@ struct RunOptions {
   size_t multiget_batch = 8;
   uint64_t expire_ttl_ticks = 64;
 
+  // Elastic scaling schedule (empty = fixed capacity). Applied to the
+  // measured region only; steps are sorted by at_op_fraction before use.
+  // Each step calls CacheClient::ResizeCapacity — clients without a resize
+  // path ignore it, and the phase trajectory in RunResult still reports the
+  // per-phase hit rates.
+  std::vector<ResizeStep> resize_schedule;
+
   size_t ValueBytesFor(uint64_t key) const;
+};
+
+// Per-phase slice of a run, where phases are delimited by the resize
+// schedule: phase 0 runs at the deployment's initial capacity
+// (capacity_objects reported as 0), phase p >= 1 after schedule step p-1.
+struct PhaseResult {
+  uint64_t capacity_objects = 0;  // 0 = initial (pre-first-step) capacity
+  uint64_t ops = 0;
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double hit_rate = 0.0;
 };
 
 struct RunResult {
@@ -71,6 +102,10 @@ struct RunResult {
   uint64_t nic_messages = 0;
   uint64_t nic_doorbells = 0;
   uint64_t rpc_ops = 0;
+  // Hit-rate trajectory across the resize schedule (resize_schedule.size()+1
+  // entries; a single entry covering the whole run when no schedule is set).
+  // Deterministic: identical for any RunTraceSharded thread count.
+  std::vector<PhaseResult> phases;
 };
 
 // Replays `trace` sharded round-robin over `clients`. `node` provides the
@@ -82,6 +117,16 @@ RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Tra
 // and controller-CPU horizon.
 RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
                    const std::vector<rdma::RemoteNode*>& nodes, const RunOptions& options);
+
+// Normal form of a resize schedule as both replay engines apply it: steps
+// stably sorted by at_op_fraction with fractions clamped to [0, 1]. Oracle
+// replays (sim/elastic_oracle.h) use the same normal form so every consumer
+// crosses phases at identical request indices.
+std::vector<ResizeStep> NormalizedResizeSchedule(std::vector<ResizeStep> schedule);
+
+// Absolute trace index at which a (normalized) step fires over the measured
+// region [begin, end).
+size_t ResizeStepIndex(double at_op_fraction, size_t begin, size_t end);
 
 // Deterministic seeded key -> shard partition of the concurrent engine.
 uint32_t ShardForKey(uint64_t key, size_t num_shards, uint64_t seed);

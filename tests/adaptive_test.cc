@@ -117,8 +117,47 @@ TEST_F(AdaptiveTest, WeightsStayNormalizedAndFloored) {
     state.OnRegret(0b01, 0);
   }
   const auto& w = state.local_weights();
-  EXPECT_NEAR(w[0] + w[1], 1.0, 0.01);
-  EXPECT_GE(w[0], 1e-3) << "the losing expert must stay revivable";
+  EXPECT_NEAR(w[0] + w[1], 1.0, 1e-12)
+      << "the floored vector must be re-normalized before it is used";
+  EXPECT_DOUBLE_EQ(w[0], 1e-3) << "the crushed expert sits exactly at the floor";
+  // The controller's authoritative copy obeys the same invariants.
+  const std::vector<double> global = controller_.weights();
+  EXPECT_NEAR(global[0] + global[1], 1.0, 1e-12);
+  EXPECT_GE(global[0], 1e-3);
+}
+
+TEST_F(AdaptiveTest, MalformedUpdatePayloadsRejected) {
+  const std::vector<double> before = controller_.weights();
+
+  // Trailing bytes: 2 doubles plus 3 stray bytes.
+  EXPECT_TRUE(verbs_.Rpc(dm::kRpcUpdateWeights, std::string(19, 'x')).empty());
+  // Wrong expert count: one double for a two-expert controller.
+  EXPECT_TRUE(verbs_.Rpc(dm::kRpcUpdateWeights, std::string(8, '\0')).empty());
+  // Deliberately short payload.
+  EXPECT_TRUE(verbs_.Rpc(dm::kRpcUpdateWeights, std::string(3, '\1')).empty());
+
+  EXPECT_EQ(controller_.updates_received(), 0u);
+  EXPECT_EQ(controller_.updates_rejected(), 3u);
+  const std::vector<double> after = controller_.weights();
+  EXPECT_DOUBLE_EQ(after[0], before[0]) << "a rejected payload must not perturb the weights";
+  EXPECT_DOUBLE_EQ(after[1], before[1]);
+}
+
+TEST_F(AdaptiveTest, ClientKeepsLocalWeightsWhenControllerRejects) {
+  // A client configured for three experts flushes 24-byte payloads at the
+  // two-expert controller: every flush is rejected and the local weights
+  // survive (instead of being truncated or zeroed by a bad response).
+  AdaptiveConfig config;
+  config.num_experts = 3;
+  config.cache_size_objects = 1000;
+  config.penalty_batch = 1;
+  AdaptiveState state(config, &verbs_);
+  state.OnRegret(0b001, 0);
+  EXPECT_EQ(controller_.updates_rejected(), 1u);
+  const auto& w = state.local_weights();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_NEAR(w[0] + w[1] + w[2], 1.0, 1e-12);
+  EXPECT_LT(w[0], w[1]) << "the local penalty still applied";
 }
 
 TEST_F(AdaptiveTest, ChooseExpertFollowsWeights) {

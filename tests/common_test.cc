@@ -180,6 +180,56 @@ TEST(HistogramTest, PercentilesOrdered) {
   EXPECT_NEAR(hist.PercentileUs(99), 990.0, 100.0);
 }
 
+TEST(HistogramTest, P99IsNinetyNinthRankNotMax) {
+  // Regression: floor(p/100 * n) with a strict `seen > target` comparison
+  // landed one rank too high, so p99 over 100 samples returned the maximum's
+  // bucket. 99 samples at 10us and one at 10ms: the 99th-rank sample is 10us.
+  Histogram hist;
+  for (int i = 0; i < 99; ++i) {
+    hist.RecordNs(10'000);
+  }
+  hist.RecordNs(10'000'000);
+  EXPECT_LT(hist.PercentileNs(99), 20'000.0) << "p99 must land in the 10us bucket";
+  EXPECT_GT(hist.PercentileNs(100), 9'000'000.0) << "p100 is the max bucket";
+  EXPECT_GT(hist.PercentileNs(99.5), 9'000'000.0) << "rank ceil(99.5) = 100 = the max";
+}
+
+TEST(HistogramTest, NearestRankPinnedOnTwoBucketFixture) {
+  // 50 samples at 1us, 50 at 1ms: rank 50 (p50) is the last low sample, rank
+  // 51 (p51) the first high one; p1 is the smallest sample's bucket.
+  Histogram hist;
+  for (int i = 0; i < 50; ++i) {
+    hist.RecordNs(1'000);
+    hist.RecordNs(1'000'000);
+  }
+  EXPECT_LT(hist.PercentileNs(1), 2'000.0);
+  EXPECT_LT(hist.PercentileNs(50), 2'000.0) << "rank 50 is still in the low bucket";
+  EXPECT_GT(hist.PercentileNs(51), 900'000.0) << "rank 51 crosses into the high bucket";
+}
+
+TEST(HistogramTest, ExactRankBoundaryNotSkewedByFloatRounding) {
+  // 0.55 * 100 is 55.000000000000007 in doubles; a bare ceil() would ask for
+  // rank 56. With 55 low samples and 45 high ones, p55 must stay low.
+  Histogram hist;
+  for (int i = 0; i < 55; ++i) {
+    hist.RecordNs(10'000);
+  }
+  for (int i = 0; i < 45; ++i) {
+    hist.RecordNs(10'000'000);
+  }
+  EXPECT_LT(hist.PercentileNs(55), 20'000.0) << "rank 55 is the last low sample";
+  EXPECT_GT(hist.PercentileNs(56), 9'000'000.0);
+}
+
+TEST(HistogramTest, PercentileBoundsClamped) {
+  Histogram hist;
+  hist.RecordNs(5'000);
+  // A single sample: every percentile (including p0) is that sample's bucket.
+  EXPECT_GT(hist.PercentileNs(0), 4'000.0);
+  EXPECT_LT(hist.PercentileNs(0), 6'000.0);
+  EXPECT_DOUBLE_EQ(hist.PercentileNs(0), hist.PercentileNs(100));
+}
+
 TEST(HistogramTest, MergeCombinesCounts) {
   Histogram a;
   Histogram b;

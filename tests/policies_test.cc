@@ -317,6 +317,109 @@ TEST(PreciseCacheTest, RandomPolicyStaysWithinCapacity) {
   EXPECT_GE(cache.hits, 1000u);
 }
 
+// Elastic-scaling oracle: Resize must hold the size invariant and keep the
+// structure's bookkeeping consistent under every policy kind — the tentpole's
+// shrink behaviour is validated against this.
+class PreciseCacheResizeTest : public ::testing::TestWithParam<PrecisePolicyKind> {};
+
+TEST_P(PreciseCacheResizeTest, ShrinkEvictsDownAndExpandGrows) {
+  PreciseCache cache(16, GetParam(), /*seed=*/5);
+  for (uint64_t k = 0; k < 16; ++k) {
+    cache.Access(k);
+  }
+  ASSERT_EQ(cache.size(), 16u);
+
+  cache.Resize(5);
+  EXPECT_EQ(cache.capacity(), 5u);
+  EXPECT_EQ(cache.size(), 5u);
+  // The index and the eviction structure must agree: every key the cache
+  // claims to hold must hit, and exactly 5 of the original keys survive.
+  int survivors = 0;
+  for (uint64_t k = 0; k < 16; ++k) {
+    if (cache.Contains(k)) {
+      survivors++;
+      EXPECT_TRUE(cache.Access(k)) << "contained key must hit after shrink";
+    }
+  }
+  EXPECT_EQ(survivors, 5);
+  EXPECT_EQ(cache.size(), 5u);
+
+  // Admissions after the shrink respect the new capacity.
+  for (uint64_t k = 100; k < 120; ++k) {
+    cache.Access(k);
+  }
+  EXPECT_EQ(cache.size(), 5u);
+
+  // Expand: no eviction, and the cache grows into the new budget.
+  cache.Resize(12);
+  EXPECT_EQ(cache.size(), 5u) << "expanding must not evict";
+  for (uint64_t k = 200; k < 240; ++k) {
+    cache.Access(k);
+  }
+  EXPECT_EQ(cache.size(), 12u);
+}
+
+TEST_P(PreciseCacheResizeTest, RepeatedShrinkToOneAndBack) {
+  PreciseCache cache(8, GetParam(), /*seed=*/11);
+  for (uint64_t round = 0; round < 20; ++round) {
+    for (uint64_t k = 0; k < 8; ++k) {
+      cache.Access(round * 8 + k);
+    }
+    cache.Resize(1);
+    EXPECT_EQ(cache.size(), 1u);
+    cache.Resize(8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PreciseCacheResizeTest,
+                         ::testing::Values(PrecisePolicyKind::kLru, PrecisePolicyKind::kLfu,
+                                           PrecisePolicyKind::kFifo,
+                                           PrecisePolicyKind::kRandom),
+                         [](const ::testing::TestParamInfo<PrecisePolicyKind>& info) {
+                           switch (info.param) {
+                             case PrecisePolicyKind::kLru:
+                               return "Lru";
+                             case PrecisePolicyKind::kLfu:
+                               return "Lfu";
+                             case PrecisePolicyKind::kFifo:
+                               return "Fifo";
+                             case PrecisePolicyKind::kRandom:
+                               return "Random";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(PreciseCacheTest, RandomShrinkKeepsSwapEraseIndexConsistent) {
+  // kRandom eviction swap-erases from the key vector; a shrink drives many
+  // consecutive swap-erases, so every surviving key's stored position must
+  // still be exact (a stale position would evict the wrong key or crash).
+  PreciseCache cache(64, PrecisePolicyKind::kRandom, /*seed=*/7);
+  for (uint64_t k = 0; k < 64; ++k) {
+    cache.Access(k);
+  }
+  cache.Resize(8);
+  ASSERT_EQ(cache.size(), 8u);
+  uint64_t hits_before = cache.hits;
+  int contained = 0;
+  for (uint64_t k = 0; k < 64; ++k) {
+    if (cache.Contains(k)) {
+      contained++;
+      EXPECT_TRUE(cache.Access(k));
+    }
+  }
+  EXPECT_EQ(contained, 8);
+  EXPECT_EQ(cache.hits, hits_before + 8);
+  // Interleave shrinks with fresh admissions to churn the vector further.
+  for (uint64_t round = 0; round < 10; ++round) {
+    for (uint64_t k = 1000 + round * 16; k < 1016 + round * 16; ++k) {
+      cache.Access(k);
+    }
+    cache.Resize(8 - round % 4);
+    EXPECT_LE(cache.size(), 8 - round % 4);
+    cache.Resize(8);
+  }
+}
+
 TEST(PreciseCacheTest, FifoIgnoresReaccess) {
   PreciseCache cache(2, PrecisePolicyKind::kFifo);
   cache.Access(1);
