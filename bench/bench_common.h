@@ -37,12 +37,22 @@ inline void PrintHeader(const char* figure, const char* what) {
 // BENCH_JSON line of a bench's stdout into bench/out/BENCH_<name>.json, so
 // CI and future PRs can diff ops / hit rate / nearest-rank p50/p99 without
 // parsing the human-oriented tables.
-inline void EmitBenchJson(const char* bench, const char* label, const sim::RunResult& r) {
+// wall_mops, when >= 0, reports the measured host wall-clock replay rate —
+// the number that moves when the replay hot path itself gets faster (the
+// virtual-time throughput_mops only reflects the modeled network).
+inline void EmitBenchJson(const char* bench, const char* label, const sim::RunResult& r,
+                          double wall_mops = -1.0) {
   std::printf("BENCH_JSON {\"bench\": \"%s\", \"label\": \"%s\", \"ops\": %llu, "
               "\"throughput_mops\": %.6f, \"hit_rate\": %.6f, \"p50_us\": %.3f, "
-              "\"p99_us\": %.3f}\n",
+              "\"p99_us\": %.3f, \"cas_failures\": %llu, \"insert_retries\": %llu",
               bench, label, static_cast<unsigned long long>(r.ops), r.throughput_mops,
-              r.hit_rate, r.p50_us, r.p99_us);
+              r.hit_rate, r.p50_us, r.p99_us,
+              static_cast<unsigned long long>(r.cas_failures),
+              static_cast<unsigned long long>(r.insert_retries));
+  if (wall_mops >= 0.0) {
+    std::printf(", \"wall_mops\": %.6f", wall_mops);
+  }
+  std::printf("}\n");
 }
 
 inline dm::PoolConfig MakePoolConfig(uint64_t capacity_objects, int controller_cores = 1,

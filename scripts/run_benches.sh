@@ -27,7 +27,8 @@ summary="${out_dir}/summary.json"
 echo "[" > "${summary}"
 first=1
 
-for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine "${build_dir}"/elastic_scaling; do
+for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine "${build_dir}"/elastic_scaling \
+             "${build_dir}"/contended_engine; do
   [ -x "${bench}" ] || continue
   name="$(basename "${bench}")"
   out_file="${out_dir}/${name}.txt"
@@ -45,9 +46,14 @@ for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine "${build_dir}"/el
     echo "   FAILED (exit ${status}) — see ${out_file}"
   fi
   # Collect the bench's machine-readable rows (if it emits any) into a JSON
-  # array at bench/out/BENCH_<name>.json.
+  # array at BENCH_<x>.json, where <x> is the "bench" field the rows carry
+  # (contended_engine emits bench="contended" -> BENCH_contended.json);
+  # falls back to the binary name if the field is missing.
   if grep -q '^BENCH_JSON ' "${out_file}"; then
-    bench_json="${out_dir}/BENCH_${name}.json"
+    json_name="$(grep -m1 '^BENCH_JSON ' "${out_file}" \
+                 | sed -nE 's/.*"bench": "([^"]+)".*/\1/p')"
+    [ -n "${json_name}" ] || json_name="${name}"
+    bench_json="${out_dir}/BENCH_${json_name}.json"
     {
       echo "["
       grep '^BENCH_JSON ' "${out_file}" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/'

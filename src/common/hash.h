@@ -38,6 +38,29 @@ inline uint64_t HashBytes(const void* data, size_t len) {
 
 inline uint64_t HashKey(std::string_view key) { return HashBytes(key.data(), key.size()); }
 
+// Fast integrity checksum for torn-read detection (objects read while a
+// concurrent writer reuses their blocks). Weaker per-word mixing than
+// HashBytes — a rotate-xor-multiply accumulator with one final Mix64 — which
+// is plenty to make a mixed-generation buffer miss with ~2^-64 probability,
+// at a fraction of the hashing cost on the Get/Set hot path. Not for hash
+// tables: dispersion of low bits is deliberately traded for speed.
+inline uint64_t ChecksumBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0x9e3779b97f4a7c15ULL ^ (len * 0xff51afd7ed558ccdULL);
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    h = ((h << 27) | (h >> 37)) ^ w;
+    h *= 0xc2b2ae3d27d4eb4fULL;
+  }
+  uint64_t tail = 0;
+  for (size_t j = 0; i < len; ++i, j += 8) {
+    tail |= static_cast<uint64_t>(p[i]) << j;
+  }
+  return Mix64(h ^ tail);
+}
+
 // Seeded partition of a 64-bit key or hash into n buckets. The single mixing
 // formula shared by ShardedPool::NodeFor (over string-key hashes) and the
 // concurrent runner's sim::ShardForKey (over raw integer trace keys); note

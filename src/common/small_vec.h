@@ -1,0 +1,47 @@
+// SmallBuf: a fixed-inline-capacity result buffer for batch hot paths.
+//
+// ExecuteBatch callers need a contiguous `CacheResult results[n]` (or
+// `CacheOp ops[n]`) per batch; allocating a std::vector per fused multi-get
+// run put a malloc/free pair on the replay hot path. SmallBuf hands out a
+// default-initialized array of n elements from inline storage whenever
+// n <= N (the common case: fused runs are bounded by multiget_batch, default
+// 8) and falls back to a reused heap vector — which keeps its capacity across
+// calls — beyond that. Not thread-safe; one instance per owner, like the
+// other per-client scratch buffers.
+#ifndef DITTO_COMMON_SMALL_VEC_H_
+#define DITTO_COMMON_SMALL_VEC_H_
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace ditto {
+
+template <typename T, size_t N>
+class SmallBuf {
+ public:
+  // Returns a pointer to n default-valued elements, valid until the next
+  // Acquire on this buffer. Elements are reset to T{} so callers see the
+  // same freshly-constructed state a new vector would give them.
+  T* Acquire(size_t n) {
+    if (n <= N) {
+      for (size_t i = 0; i < n; ++i) {
+        inline_[i] = T{};
+      }
+      return inline_.data();
+    }
+    heap_.clear();            // keeps capacity: at most one allocation per
+    heap_.resize(n);          // high-water mark, none at steady state
+    return heap_.data();
+  }
+
+  static constexpr size_t inline_capacity() { return N; }
+
+ private:
+  std::array<T, N> inline_{};
+  std::vector<T> heap_;
+};
+
+}  // namespace ditto
+
+#endif  // DITTO_COMMON_SMALL_VEC_H_

@@ -56,6 +56,36 @@ DittoClient::SuperblockView DittoClient::ReadSuperblock() {
 
 uint64_t DittoClient::NowTick() { return pool_->clock().Tick(); }
 
+bool DittoClient::CasSlot(uint64_t slot_addr, uint64_t expected, uint64_t desired) {
+  if (table_.CasAtomic(slot_addr, expected, desired)) {
+    return true;
+  }
+  stats_.cas_failures++;
+  return false;
+}
+
+void DittoClient::ResolveDuplicates(uint64_t bucket, uint64_t hash, uint8_t fp) {
+  table_.ReadBucket(bucket, &dedup_buf_);
+  int canonical = -1;
+  for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+    const ht::SlotView& slot = dedup_buf_[i];
+    if (!slot.IsObject() || slot.fp() != fp || slot.hash != hash) {
+      continue;
+    }
+    if (canonical < 0) {
+      canonical = i;  // lowest index wins: the same rule on every client
+      continue;
+    }
+    // A duplicate copy from a concurrent insert race. Reclaim it; losing the
+    // CAS means another resolver (or a Delete) got there first.
+    if (CasSlot(table_.BucketSlotAddr(bucket, i), slot.atomic_word, 0)) {
+      alloc_.FreeBlocks(slot.pointer(), slot.size_blocks());
+      verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+      stats_.dup_resolved++;
+    }
+  }
+}
+
 policy::Metadata DittoClient::MetadataFor(const ht::SlotView& slot, const uint64_t* ext) const {
   policy::Metadata meta;
   meta.hash = slot.hash;
@@ -131,7 +161,7 @@ bool DittoClient::Get(std::string_view key, std::string* value) {
     if (obj.ExpiredAt(pool_->clock().Now())) {
       // Lazy expiry: reclaim the dead object and report a miss. Losing the
       // CAS means a concurrent client already reclaimed or replaced it.
-      if (table_.CasAtomic(table_.BucketSlotAddr(bucket, i), slot.atomic_word, 0)) {
+      if (CasSlot(table_.BucketSlotAddr(bucket, i), slot.atomic_word, 0)) {
         alloc_.FreeBlocks(obj_addr, slot.size_blocks());
         verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
       }
@@ -175,14 +205,9 @@ bool DittoClient::Get(std::string_view key, std::string* value) {
 
 bool DittoClient::EvictOne() {
   const size_t num_slots = table_.num_slots();
-  const int k = config_.num_samples;
-
-  struct Candidate {
-    ht::SlotView slot;
-    uint64_t slot_addr;
-    policy::Metadata meta;
-  };
-  std::vector<Candidate> cands;
+  const int k = std::min(config_.num_samples, static_cast<int>(num_slots));
+  const uint64_t start_span = num_slots - static_cast<uint64_t>(k) + 1;
+  std::vector<EvictCandidate>& cands = cand_buf_;
   cands.reserve(k);
 
   for (int attempt = 0; attempt < 256; ++attempt) {
@@ -192,8 +217,10 @@ bool DittoClient::EvictOne() {
     cands.clear();
     int reads = 0;
     while (static_cast<int>(cands.size()) < k && reads < 64) {
-      const uint64_t start = ctx_->rng().NextBelow(num_slots - static_cast<uint64_t>(k));
-      table_.ReadSlots(start, k, &sample_buf_);
+      uint64_t start = ctx_->rng().NextBelow(start_span);
+      if (!table_.ReadSlots(start, k, &sample_buf_, &start)) {
+        break;  // degenerate geometry: nothing to sample
+      }
       reads++;
       for (int i = 0; i < k && static_cast<int>(cands.size()) < k; ++i) {
         // Skip non-objects and slots whose metadata is not yet initialized
@@ -202,10 +229,9 @@ bool DittoClient::EvictOne() {
         if (!sample_buf_[i].IsObject() || sample_buf_[i].last_ts == 0) {
           continue;
         }
-        const uint64_t slot_addr = table_.SlotAddr(
-            std::min(start, num_slots - static_cast<uint64_t>(k)) + i);
+        const uint64_t slot_addr = table_.SlotAddr(start + i);
         bool duplicate = false;
-        for (const Candidate& c : cands) {
+        for (const EvictCandidate& c : cands) {
           if (c.slot_addr == slot_addr) {
             duplicate = true;
             break;
@@ -214,7 +240,7 @@ bool DittoClient::EvictOne() {
         if (duplicate) {
           continue;
         }
-        Candidate c;
+        EvictCandidate c;
         c.slot = sample_buf_[i];
         c.slot_addr = slot_addr;
         c.meta = MetadataFor(sample_buf_[i], nullptr);
@@ -228,14 +254,14 @@ bool DittoClient::EvictOne() {
     if (!config_.enable_sfht) {
       // Without the co-designed table, each sampled object's metadata lives
       // with the object: one extra READ per sampled candidate.
-      for (const Candidate& c : cands) {
+      for (const EvictCandidate& c : cands) {
         uint64_t scratch;
         verbs_.Read(c.slot.pointer(), &scratch, 8);
       }
     }
     if (total_ext_words_ > 0) {
       // Fetch extension words from each sampled object (paper §4.4).
-      for (Candidate& c : cands) {
+      for (EvictCandidate& c : cands) {
         verbs_.Read(c.slot.pointer() + kExtWordsOff, c.meta.ext,
                     static_cast<size_t>(total_ext_words_) * 8);
       }
@@ -243,7 +269,8 @@ bool DittoClient::EvictOne() {
 
     // Each expert nominates its lowest-priority candidate.
     const int num_experts = static_cast<int>(experts_.size());
-    std::vector<int> nominee(num_experts, 0);
+    nominee_buf_.assign(num_experts, 0);
+    std::vector<int>& nominee = nominee_buf_;
     for (int e = 0; e < num_experts; ++e) {
       int ext_base = 0;
       for (int j = 0; j < e; ++j) {
@@ -280,7 +307,7 @@ bool DittoClient::EvictOne() {
         }
       }
     }
-    if (!table_.CasAtomic(victim_addr, victim.atomic_word, desired)) {
+    if (!CasSlot(victim_addr, victim.atomic_word, desired)) {
       continue;  // lost a race; resample
     }
     if (config_.adaptive() && config_.enable_history) {
@@ -382,6 +409,7 @@ bool DittoClient::ClaimSlotAndPublish(uint64_t bucket, uint64_t hash, uint8_t fp
         }
       }
       if (target < 0) {
+        stats_.insert_retries++;
         continue;  // raced into an inconsistent view; retry
       }
       expected = bucket_buf_[target].atomic_word;
@@ -389,8 +417,9 @@ bool DittoClient::ClaimSlotAndPublish(uint64_t bucket, uint64_t hash, uint8_t fp
     }
 
     const uint64_t slot_addr = table_.BucketSlotAddr(bucket, target);
-    if (!table_.CasAtomic(slot_addr, expected, desired)) {
+    if (!CasSlot(slot_addr, expected, desired)) {
       stats_.set_retries++;
+      stats_.insert_retries++;
       continue;
     }
     if (target_is_object) {
@@ -407,6 +436,15 @@ bool DittoClient::ClaimSlotAndPublish(uint64_t bucket, uint64_t hash, uint8_t fp
     if (!config_.enable_sfht) {
       verbs_.WriteAsync(slot_addr + ht::kFreqOff, &now, 8);  // ungrouped metadata init
     }
+    // A concurrent client may have published its own copy of this key between
+    // our bucket scan and our CAS. Validate with one more bucket READ and
+    // reclaim every copy but the canonical one (lowest slot index) so racing
+    // inserters converge on a single live object. Config-gated: only shared-
+    // pool deployments can race, and the extra READ would otherwise shift
+    // every deterministic engine's modeled insert cost.
+    if (config_.validate_inserts) {
+      ResolveDuplicates(bucket, hash, fp);
+    }
     return true;
   }
   return false;
@@ -414,6 +452,9 @@ bool DittoClient::ClaimSlotAndPublish(uint64_t bucket, uint64_t hash, uint8_t fp
 
 bool DittoClient::Set(std::string_view key, std::string_view value, uint64_t ttl_ticks) {
   stats_.sets++;
+  if (ObjectBlocks(key.size(), value.size(), total_ext_words_) > dm::kMaxRunBlocks) {
+    return false;  // larger than the longest allocatable block run: drop
+  }
   const uint64_t hash = HashKey(key);
   const uint8_t fp = Fingerprint(hash);
   const uint64_t bucket = table_.BucketIndexFor(hash);
@@ -453,7 +494,7 @@ bool DittoClient::Set(std::string_view key, std::string_view value, uint64_t ttl
     EncodeObject(key, value, ext, total_ext_words_, &encode_buf_, expiry);
     verbs_.Write(addr, encode_buf_.data(), encode_buf_.size());
     const uint64_t desired = ht::PackAtomic(fp, static_cast<uint8_t>(blocks), addr);
-    if (table_.CasAtomic(table_.BucketSlotAddr(bucket, found), slot.atomic_word, desired)) {
+    if (CasSlot(table_.BucketSlotAddr(bucket, found), slot.atomic_word, desired)) {
       alloc_.FreeBlocks(slot.pointer(), slot.size_blocks());
       ht::SlotView updated = slot;
       updated.atomic_word = desired;
@@ -545,7 +586,7 @@ bool DittoClient::Delete(std::string_view key) {
       return false;
     }
     const ht::SlotView& slot = bucket_buf_[found];
-    if (table_.CasAtomic(table_.BucketSlotAddr(bucket, found), slot.atomic_word, 0)) {
+    if (CasSlot(table_.BucketSlotAddr(bucket, found), slot.atomic_word, 0)) {
       alloc_.FreeBlocks(slot.pointer(), slot.size_blocks());
       verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
       stats_.deletes++;
@@ -584,8 +625,8 @@ bool DittoClient::Expire(std::string_view key, uint64_t ttl_ticks) {
     // Re-validate that the slot still publishes this object before touching
     // its blocks (a concurrent Delete/Set may have reused the run): a CAS to
     // the same word fails iff the slot changed underneath us.
-    if (!table_.CasAtomic(table_.BucketSlotAddr(bucket, found), slot.atomic_word,
-                          slot.atomic_word)) {
+    if (!CasSlot(table_.BucketSlotAddr(bucket, found), slot.atomic_word,
+                 slot.atomic_word)) {
       continue;  // raced with a concurrent update; re-locate the key
     }
     // One small WRITE re-arms the expiry word in place (off the critical

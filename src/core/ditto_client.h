@@ -54,6 +54,14 @@ struct DittoConfig {
   bool enable_fc_cache = true;    // frequency-counter cache
   bool enable_lazy_weights = true;
 
+  // Contended-deployment switch: after publishing an insert, re-read the
+  // bucket and reclaim racing duplicate copies of the key (RACE-hashing
+  // style; +1 READ per insert). Required whenever multiple clients share one
+  // pool with overlapping keys (RunTraceContended deployments). Off by
+  // default so the single-writer-per-key engines keep the paper's insert
+  // verb budget — duplicate races are structurally impossible there.
+  bool validate_inserts = false;
+
   bool adaptive() const { return experts.size() > 1; }
 };
 
@@ -67,6 +75,10 @@ struct DittoStats {
   uint64_t expired = 0;  // objects reclaimed by lazy TTL expiry on lookup
   uint64_t regrets = 0;
   uint64_t set_retries = 0;
+  // Contention counters (nonzero only when clients race on one pool).
+  uint64_t cas_failures = 0;    // slot CASes lost to a concurrent client
+  uint64_t insert_retries = 0;  // claim-phase rounds repeated after a race
+  uint64_t dup_resolved = 0;    // duplicate copies reclaimed after insert races
 
   double HitRate() const {
     return gets == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(gets);
@@ -150,6 +162,16 @@ class DittoClient {
   SuperblockView ReadSuperblock();
   uint64_t NowTick();
 
+  // CAS on a slot's atomic word, counting failures (losses to concurrent
+  // clients) in stats_.cas_failures.
+  bool CasSlot(uint64_t slot_addr, uint64_t expected, uint64_t desired);
+
+  // RACE-hashing-style duplicate resolution: after publishing a new copy of
+  // `hash`, re-reads the bucket and reclaims every matching object slot other
+  // than the lowest-indexed one. Concurrent inserters of one key run the same
+  // deterministic rule, so the bucket converges to a single live copy.
+  void ResolveDuplicates(uint64_t bucket, uint64_t hash, uint8_t fp);
+
   // Builds policy metadata for a slot view (object sizes come from the slot's
   // block count; extension words are passed in when known).
   policy::Metadata MetadataFor(const ht::SlotView& slot, const uint64_t* ext) const;
@@ -185,10 +207,21 @@ class DittoClient {
   int total_ext_words_ = 0;
 
   DittoStats stats_;
+  // Per-op scratch, reused across ops so the hot path allocates nothing once
+  // warm (the client is single-threaded; see RunTraceContended for the
+  // one-client-per-thread contract).
   std::vector<ht::SlotView> bucket_buf_;
   std::vector<ht::SlotView> sample_buf_;
+  std::vector<ht::SlotView> dedup_buf_;
   std::vector<uint8_t> object_buf_;
   std::vector<uint8_t> encode_buf_;
+  struct EvictCandidate {
+    ht::SlotView slot;
+    uint64_t slot_addr;
+    policy::Metadata meta;
+  };
+  std::vector<EvictCandidate> cand_buf_;
+  std::vector<int> nominee_buf_;
 };
 
 }  // namespace ditto::core

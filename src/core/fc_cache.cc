@@ -8,8 +8,10 @@ constexpr size_t kEntryOverheadBytes = 24;
 
 void FcCache::RecordAccess(uint64_t slot_addr, size_t object_id_bytes) {
   if (!enabled_) {
+    // Ablation passthrough: the FAA goes out per access without ever being
+    // buffered, so it is not a flush — counting it skewed the flush metric
+    // the benches compare against the enabled mode.
     table_->AddFreqAsync(slot_addr, 1);
-    flushes_++;
     return;
   }
   auto [it, inserted] = entries_.try_emplace(slot_addr);
@@ -23,10 +25,12 @@ void FcCache::RecordAccess(uint64_t slot_addr, size_t object_id_bytes) {
   entry.delta++;
   if (entry.delta >= static_cast<uint64_t>(threshold_)) {
     FlushEntry(slot_addr);
-  } else {
-    while (bytes_used_ > capacity_bytes_ && !entries_.empty()) {
-      EvictOldest();
-    }
+  }
+  // Capacity eviction runs on every access — a threshold-flush access used to
+  // skip it, which could leave bytes_used_ above capacity_bytes_ until the
+  // next sub-threshold access.
+  while (bytes_used_ > capacity_bytes_ && !entries_.empty()) {
+    EvictOldest();
   }
   FlushAged();
 }

@@ -1,17 +1,29 @@
 // Wire format of cached objects in the heap.
 //
 //   +0  ObjectHeader (8 B): key_len(2) | val_len(4) | ext_words(2)
-//   +8  expiry_tick  (8 B)  absolute logical-clock tick at which the object
+//   +8  checksum     (8 B)  integrity word over header + key + value (see
+//                           ObjectChecksum). Covers exactly the bytes that
+//                           are immutable once the object is published —
+//                           expiry and extension words are re-written in
+//                           place and are deliberately excluded.
+//   +16 expiry_tick  (8 B)  absolute logical-clock tick at which the object
 //                           expires; 0 = never. Expiry is lazy: the next
 //                           lookup that reads an expired object reclaims it.
-//   +16 extension metadata words (8 B each, paper §4.4 "metadata header")
-//   +16+8*ext  key bytes
+//   +24 extension metadata words (8 B each, paper §4.4 "metadata header")
+//   +24+8*ext  key bytes
 //   ...        value bytes
 //
 // Objects occupy contiguous runs of 64-byte blocks; the run length is what
 // the slot's 1-byte size field stores. The expiry tick and extension words
 // live at fixed offsets so eviction sampling and Expire can access them with
 // one small READ/WRITE.
+//
+// The checksum is what keeps the paper's two-READ Get safe under contention
+// (FUSEE-style self-verifying objects): a reader that raced with an
+// eviction/update may copy blocks that were freed and reused mid-READ;
+// rather than spending a third verb re-validating the slot, DecodeObject
+// recomputes the checksum and rejects torn buffers, which the lookup then
+// treats as a miss (a legal linearization of the concurrent update).
 #ifndef DITTO_CORE_OBJECT_H_
 #define DITTO_CORE_OBJECT_H_
 
@@ -21,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/hash.h"
 #include "dm/allocator.h"
 #include "policies/policy.h"
 
@@ -33,11 +46,23 @@ struct ObjectHeader {
 };
 static_assert(sizeof(ObjectHeader) == 8);
 
-inline constexpr uint64_t kExpiryOff = sizeof(ObjectHeader);
+inline constexpr uint64_t kChecksumOff = sizeof(ObjectHeader);
+inline constexpr uint64_t kExpiryOff = kChecksumOff + 8;
 inline constexpr uint64_t kExtWordsOff = kExpiryOff + 8;
 
 inline size_t ObjectBytes(size_t key_len, size_t val_len, int ext_words) {
   return kExtWordsOff + static_cast<size_t>(ext_words) * 8 + key_len + val_len;
+}
+
+// Integrity word over the immutable bytes of a published object: the header
+// word plus the contiguous key+value range. Expiry and extension words are
+// excluded on purpose — Expire and TouchObject rewrite them in place after
+// publication, and a checksum covering them would invalidate live objects.
+inline uint64_t ObjectChecksum(const ObjectHeader& header, const void* key_and_value,
+                               size_t key_and_value_len) {
+  uint64_t header_word;
+  std::memcpy(&header_word, &header, 8);
+  return ditto::Mix64(ditto::ChecksumBytes(key_and_value, key_and_value_len) ^ header_word);
 }
 
 inline int ObjectBlocks(size_t key_len, size_t val_len, int ext_words) {
@@ -57,10 +82,11 @@ inline void EncodeObject(std::string_view key, std::string_view value,
   if (ext_words > 0) {
     std::memcpy(buf->data() + kExtWordsOff, ext, static_cast<size_t>(ext_words) * 8);
   }
-  std::memcpy(buf->data() + kExtWordsOff + static_cast<size_t>(ext_words) * 8, key.data(),
-              key.size());
-  std::memcpy(buf->data() + kExtWordsOff + static_cast<size_t>(ext_words) * 8 + key.size(),
-              value.data(), value.size());
+  uint8_t* key_start = buf->data() + kExtWordsOff + static_cast<size_t>(ext_words) * 8;
+  std::memcpy(key_start, key.data(), key.size());
+  std::memcpy(key_start + key.size(), value.data(), value.size());
+  const uint64_t checksum = ObjectChecksum(header, key_start, key.size() + value.size());
+  std::memcpy(buf->data() + kChecksumOff, &checksum, 8);
 }
 
 // Parsed view into a raw object buffer. Pointers alias the buffer.
@@ -75,7 +101,9 @@ struct DecodedObject {
   bool ExpiredAt(uint64_t now) const { return expiry_tick != 0 && now >= expiry_tick; }
 };
 
-// Returns false if the buffer is too small / malformed.
+// Returns false if the buffer is too small / malformed, or if the embedded
+// checksum does not match — the latter is how a reader that raced with a
+// concurrent free/reuse of the object's blocks detects the torn copy.
 inline bool DecodeObject(const uint8_t* buf, size_t len, DecodedObject* out) {
   if (len < kExtWordsOff) {
     return false;
@@ -92,6 +120,12 @@ inline bool DecodeObject(const uint8_t* buf, size_t len, DecodedObject* out) {
       reinterpret_cast<const char*>(buf + kExtWordsOff + size_t{out->header.ext_words} * 8);
   out->key = std::string_view(key_start, out->header.key_len);
   out->value = std::string_view(key_start + out->header.key_len, out->header.val_len);
+  uint64_t stored = 0;
+  std::memcpy(&stored, buf + kChecksumOff, 8);
+  if (stored != ObjectChecksum(out->header, key_start,
+                               size_t{out->header.key_len} + out->header.val_len)) {
+    return false;
+  }
   return true;
 }
 

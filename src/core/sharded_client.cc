@@ -136,6 +136,9 @@ DittoStats ShardedDittoClient::stats() const {
     total.expired += s.expired;
     total.regrets += s.regrets;
     total.set_retries += s.set_retries;
+    total.cas_failures += s.cas_failures;
+    total.insert_retries += s.insert_retries;
+    total.dup_resolved += s.dup_resolved;
   }
   return total;
 }

@@ -1,5 +1,6 @@
 #include "hashtable/hash_table.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace ditto::ht {
@@ -14,22 +15,34 @@ SlotView HashTable::DecodeSlot(const uint8_t* raw) {
   return view;
 }
 
-void HashTable::ReadBucket(uint64_t bucket, std::vector<SlotView>* out) {
-  ReadSlots(bucket * slots_per_bucket_, slots_per_bucket_, out);
+bool HashTable::ReadBucket(uint64_t bucket, std::vector<SlotView>* out) {
+  if (bucket >= num_buckets_) {
+    out->clear();
+    return false;
+  }
+  return ReadSlots(bucket * slots_per_bucket_, slots_per_bucket_, out);
 }
 
-void HashTable::ReadSlots(uint64_t start_slot, int count, std::vector<SlotView>* out) {
-  if (start_slot + count > num_slots()) {
-    start_slot = num_slots() - count;
+bool HashTable::ReadSlots(uint64_t start_slot, int count, std::vector<SlotView>* out,
+                          uint64_t* actual_start) {
+  out->clear();
+  if (count <= 0 || static_cast<size_t>(count) > num_slots()) {
+    return false;
+  }
+  // Clamp down so the sampled range stays inside the table. Guarding count
+  // above keeps this subtraction from underflowing.
+  start_slot = std::min(start_slot, num_slots() - static_cast<size_t>(count));
+  if (actual_start != nullptr) {
+    *actual_start = start_slot;
   }
   const size_t bytes = static_cast<size_t>(count) * kSlotBytes;
   scratch_.resize(bytes);
   verbs_->Read(SlotAddr(start_slot), scratch_.data(), bytes);
-  out->clear();
-  out->reserve(count);
+  out->resize(count);
   for (int i = 0; i < count; ++i) {
-    out->push_back(DecodeSlot(scratch_.data() + static_cast<size_t>(i) * kSlotBytes));
+    (*out)[i] = DecodeSlot(scratch_.data() + static_cast<size_t>(i) * kSlotBytes);
   }
+  return true;
 }
 
 SlotView HashTable::ReadSlot(uint64_t slot_addr) {

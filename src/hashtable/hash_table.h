@@ -35,13 +35,21 @@ class HashTable {
     return SlotAddr(bucket * slots_per_bucket_ + slot);
   }
 
-  // Fetches all slots of one bucket with a single READ.
-  void ReadBucket(uint64_t bucket, std::vector<SlotView>* out);
+  // Fetches all slots of one bucket with a single READ. Returns false (and
+  // clears *out) for an out-of-range bucket instead of silently reading a
+  // neighbouring bucket.
+  bool ReadBucket(uint64_t bucket, std::vector<SlotView>* out);
 
   // Fetches `count` consecutive slots starting at a global slot index with a
-  // single READ (the sampling primitive). start is clamped so the range does
-  // not wrap.
-  void ReadSlots(uint64_t start_slot, int count, std::vector<SlotView>* out);
+  // single READ (the sampling primitive). The start is clamped down so the
+  // range never wraps past the table end; the clamped start is reported
+  // through `actual_start` (when non-null) so callers can map returned slots
+  // back to global slot indices. Returns false — clearing *out and issuing
+  // no READ — when count is non-positive or exceeds the table size (the old
+  // unsigned `num_slots() - count` clamp underflowed there and aliased the
+  // read into arbitrary slots).
+  bool ReadSlots(uint64_t start_slot, int count, std::vector<SlotView>* out,
+                 uint64_t* actual_start = nullptr);
 
   // Re-reads a single slot (all 40 bytes).
   SlotView ReadSlot(uint64_t slot_addr);

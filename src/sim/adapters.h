@@ -22,7 +22,9 @@ namespace ditto::sim {
 // Single mapping from core statistics to runner counters; keep the two in
 // sync when either side grows a field.
 inline ClientCounters CountersFromStats(const core::DittoStats& s) {
-  return ClientCounters{s.gets, s.hits, s.misses, s.sets, s.deletes, s.evictions, s.expired};
+  return ClientCounters{s.gets,      s.hits,    s.misses,       s.sets,
+                        s.deletes,   s.evictions, s.expired,
+                        s.cas_failures, s.insert_retries};
 }
 
 template <typename ClientT>

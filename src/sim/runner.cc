@@ -7,6 +7,7 @@
 
 #include "common/hash.h"
 #include "common/rand.h"
+#include "common/small_vec.h"
 #include "dm/pool.h"
 #include "rdma/verbs.h"
 #include "sim/spsc_queue.h"
@@ -64,12 +65,14 @@ void HandleMiss(CacheClient* client, std::string_view key, uint64_t raw_key,
 
 // Executes one non-fused request on a client as a typed one-op batch,
 // applying the miss-penalty/set-on-miss policy, and records the op latency
-// (plus the phase trajectory slice when `phase` is non-null).
+// (plus the phase trajectory slice when `phase` is non-null). Allocation-free:
+// the key is rendered into stack storage instead of a heap std::string.
 void ExecuteRequest(CacheClient* client, const workload::Request& req, workload::Op op,
                     const RunOptions& options, const std::string& value,
                     PhaseResult* phase) {
   rdma::ClientContext& ctx = client->ctx();
-  const std::string key = workload::KeyString(req.key);
+  workload::KeyBuf key_buf;
+  const std::string_view key = workload::FormatKey(req.key, &key_buf);
   const uint64_t begin_ns = ctx.clock().busy_ns();
   CacheOp cache_op;
   switch (op) {
@@ -102,45 +105,6 @@ void ExecuteRequest(CacheClient* client, const workload::Request& req, workload:
     }
   }
   ctx.op_hist().RecordNs(ctx.clock().busy_ns() - begin_ns);
-}
-
-// Executes a fused run of kMultiGet requests as one pipelined batch, then
-// applies the miss policy per missed key. Latency is recorded per key (the
-// run's mean, as reported by the client).
-void ExecuteMultiGetRun(CacheClient* client, const workload::Trace& trace,
-                        const std::vector<uint32_t>& idxs, const RunOptions& options,
-                        const std::string& value, PhaseResult* phase) {
-  if (idxs.empty()) {
-    return;
-  }
-  rdma::ClientContext& ctx = client->ctx();
-  const uint64_t begin_ns = ctx.clock().busy_ns();
-  std::vector<std::string> keys;
-  keys.reserve(idxs.size());
-  for (const uint32_t i : idxs) {
-    keys.push_back(workload::KeyString(trace[i].key));
-  }
-  std::vector<CacheOp> ops;
-  ops.reserve(idxs.size());
-  for (const std::string& key : keys) {
-    ops.push_back(CacheOp::MultiGet(key, /*want_value=*/false));
-  }
-  std::vector<CacheResult> results(idxs.size());
-  client->ExecuteBatch(ops, results.data());
-  for (size_t j = 0; j < idxs.size(); ++j) {
-    if (!results[j].hit()) {
-      HandleMiss(client, keys[j], trace[idxs[j]].key, options, value);
-    }
-    if (phase != nullptr) {
-      phase->ops++;
-      phase->gets++;
-      (results[j].hit() ? phase->hits : phase->misses)++;
-    }
-  }
-  const uint64_t total_ns = ctx.clock().busy_ns() - begin_ns;
-  for (size_t j = 0; j < idxs.size(); ++j) {
-    ctx.op_hist().RecordNs(total_ns / idxs.size());
-  }
 }
 
 // Per-client/per-shard accumulator fusing consecutive kMultiGet requests
@@ -187,7 +151,7 @@ class OpDispatcher {
     if (!pending_.empty()) {
       // Every pending index was enqueued in the current phase (AdvancePhase
       // flushes before the capacity changes), so the run is attributed whole.
-      ExecuteMultiGetRun(client_, trace_, pending_, options_, value_, &phases_[phase_]);
+      ExecuteMultiGetRun(&phases_[phase_]);
       pending_.clear();
     }
   }
@@ -196,6 +160,42 @@ class OpDispatcher {
   const std::vector<PhaseResult>& phases() const { return phases_; }
 
  private:
+  // Executes the pending fused run of kMultiGet requests as one pipelined
+  // batch, then applies the miss policy per missed key. Latency is recorded
+  // per key (the run's mean, as reported by the client). Allocation-free at
+  // steady state: keys render into a reused KeyBuf array, ops into a reused
+  // vector, and results come from the small-vector buffer (inline storage for
+  // runs up to its capacity — fused runs are bounded by multiget_batch).
+  void ExecuteMultiGetRun(PhaseResult* phase) {
+    const std::vector<uint32_t>& idxs = pending_;
+    rdma::ClientContext& ctx = client_->ctx();
+    const uint64_t begin_ns = ctx.clock().busy_ns();
+    // Size the key storage before taking views into it: a later resize would
+    // move the buffers the CacheOps alias.
+    mg_keys_.resize(idxs.size());
+    mg_ops_.clear();
+    for (size_t j = 0; j < idxs.size(); ++j) {
+      mg_ops_.push_back(CacheOp::MultiGet(workload::FormatKey(trace_[idxs[j]].key, &mg_keys_[j]),
+                                          /*want_value=*/false));
+    }
+    CacheResult* results = mg_results_.Acquire(idxs.size());
+    client_->ExecuteBatch({mg_ops_.data(), mg_ops_.size()}, results);
+    for (size_t j = 0; j < idxs.size(); ++j) {
+      if (!results[j].hit()) {
+        HandleMiss(client_, mg_ops_[j].key, trace_[idxs[j]].key, options_, value_);
+      }
+      if (phase != nullptr) {
+        phase->ops++;
+        phase->gets++;
+        (results[j].hit() ? phase->hits : phase->misses)++;
+      }
+    }
+    const uint64_t total_ns = ctx.clock().busy_ns() - begin_ns;
+    for (size_t j = 0; j < idxs.size(); ++j) {
+      ctx.op_hist().RecordNs(total_ns / idxs.size());
+    }
+  }
+
   void AdvancePhase(uint32_t index) {
     if (schedule_ == nullptr) {
       return;
@@ -221,6 +221,10 @@ class OpDispatcher {
   size_t phase_ = 0;
   std::vector<PhaseResult> phases_;
   std::vector<uint32_t> pending_;
+  // Fused-run scratch, reused across runs (dispatchers are single-threaded).
+  std::vector<workload::KeyBuf> mg_keys_;
+  std::vector<CacheOp> mg_ops_;
+  SmallBuf<CacheResult, 16> mg_results_;
 };
 
 // Sums per-owner phase slices into `out` (sized by the caller).
@@ -343,6 +347,8 @@ RunResult FinishMeasurement(const std::vector<CacheClient*>& clients,
     result.deletes += counters.deletes;
     result.evictions += counters.evictions;
     result.expired += counters.expired;
+    result.cas_failures += counters.cas_failures;
+    result.insert_retries += counters.insert_retries;
     merged.Merge(clients[c]->ctx().op_hist());
     sum_busy_delta += clients[c]->ctx().clock().busy_ns() - base.busy_before[c];
   }
@@ -463,6 +469,43 @@ void ReplaySharded(const std::vector<CacheClient*>& shards, const workload::Trac
   }
 }
 
+// One phase (warmup or measurement) of the contended engine: client c replays
+// the strided sub-stream begin+c, begin+c+n, ... on its own host thread. No
+// key partitioning — threads race on whatever slots their requests share, so
+// CAS conflicts, duplicate-insert resolution, and eviction/victim races all
+// run their real concurrent paths. Dispatcher state stays thread-private; only
+// the pool (arena, freelists, superblock) is shared.
+void ReplayContended(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
+                     size_t begin, size_t end, const RunOptions& options,
+                     const ResolvedSchedule* schedule = nullptr,
+                     std::vector<PhaseResult>* phases_out = nullptr) {
+  const size_t n = clients.size();
+  const std::string value(std::max(options.value_bytes, options.value_bytes_max), 'v');
+  std::vector<std::unique_ptr<OpDispatcher>> dispatch(n);
+  for (size_t c = 0; c < n; ++c) {
+    // Contended clients share one deployment, so each applies the schedule's
+    // aggregate capacity (idempotent on the shared superblock).
+    dispatch[c] = std::make_unique<OpDispatcher>(clients[c], trace, options, value, schedule,
+                                                 c, n, /*split_capacity=*/false);
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (size_t c = 0; c < n; ++c) {
+    threads.emplace_back([&, c] {
+      for (size_t i = begin + c; i < end; i += n) {
+        dispatch[c]->Dispatch(static_cast<uint32_t>(i));
+      }
+      dispatch[c]->Flush();
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  for (const auto& d : dispatch) {
+    MergePhases(d->phases(), phases_out);
+  }
+}
+
 }  // namespace
 
 std::vector<ResizeStep> NormalizedResizeSchedule(std::vector<ResizeStep> schedule) {
@@ -549,6 +592,69 @@ RunResult RunTraceSharded(const std::vector<CacheClient*>& shards, const workloa
   RunResult result = FinishMeasurement(shards, nodes, base, trace.size() - measure_begin);
   FinalizePhases(schedule, &phases);
   result.phases = std::move(phases);
+  return result;
+}
+
+RunResult RunTraceContended(const std::vector<CacheClient*>& clients,
+                            const workload::Trace& trace,
+                            const std::vector<rdma::RemoteNode*>& nodes,
+                            const RunOptions& options,
+                            std::vector<RunResult>* per_client) {
+  for (CacheClient* client : clients) {
+    client->SetBatchOps(options.batch_ops);
+  }
+
+  size_t measure_begin = 0;
+  if (options.warmup_fraction > 0.0) {
+    measure_begin =
+        static_cast<size_t>(options.warmup_fraction * static_cast<double>(trace.size()));
+    ReplayContended(clients, trace, 0, measure_begin, options);
+    for (CacheClient* client : clients) {
+      // Drain doorbell chains pending from warmup so their deferred costs
+      // are charged before the measurement baseline is snapshotted.
+      client->SetBatchOps(options.batch_ops);
+    }
+  }
+
+  const ResolvedSchedule schedule = ResolveSchedule(options, measure_begin, trace.size());
+  const MeasureBaseline base = BeginMeasurement(clients, nodes);
+  std::vector<PhaseResult> phases;
+  ReplayContended(clients, trace, measure_begin, trace.size(), options, &schedule, &phases);
+  for (CacheClient* client : clients) {
+    client->Finish();
+  }
+  const size_t measured = trace.size() - measure_begin;
+  RunResult result = FinishMeasurement(clients, nodes, base, measured);
+  FinalizePhases(schedule, &phases);
+  result.phases = std::move(phases);
+
+  if (per_client != nullptr) {
+    per_client->clear();
+    per_client->reserve(clients.size());
+    for (size_t c = 0; c < clients.size(); ++c) {
+      RunResult r;
+      const ClientCounters counters = clients[c]->counters();
+      r.gets = counters.gets;
+      r.hits = counters.hits;
+      r.misses = counters.misses;
+      r.sets = counters.sets;
+      r.deletes = counters.deletes;
+      r.evictions = counters.evictions;
+      r.expired = counters.expired;
+      r.cas_failures = counters.cas_failures;
+      r.insert_retries = counters.insert_retries;
+      r.ops = measured / clients.size() + (c < measured % clients.size() ? 1 : 0);
+      const uint64_t busy_delta = clients[c]->ctx().clock().busy_ns() - base.busy_before[c];
+      r.elapsed_s = static_cast<double>(std::max(busy_delta, uint64_t{1})) / 1e9;
+      r.throughput_mops = static_cast<double>(r.ops) / (r.elapsed_s * 1e6);
+      r.hit_rate = r.gets == 0
+                       ? 0.0
+                       : static_cast<double>(r.hits) / static_cast<double>(r.gets);
+      r.p50_us = clients[c]->ctx().op_hist().PercentileUs(50);
+      r.p99_us = clients[c]->ctx().op_hist().PercentileUs(99);
+      per_client->push_back(std::move(r));
+    }
+  }
   return result;
 }
 

@@ -102,6 +102,11 @@ struct RunResult {
   uint64_t nic_messages = 0;
   uint64_t nic_doorbells = 0;
   uint64_t rpc_ops = 0;
+  // Contention counters (see ClientCounters): nonzero only when clients race
+  // on shared slots, i.e. under RunTraceContended or multi-client RunTrace
+  // deployments sharing one pool.
+  uint64_t cas_failures = 0;
+  uint64_t insert_retries = 0;
   // Hit-rate trajectory across the resize schedule (resize_schedule.size()+1
   // entries; a single entry covering the whole run when no schedule is set).
   // Deterministic: identical for any RunTraceSharded thread count.
@@ -147,6 +152,27 @@ uint32_t ShardForKey(uint64_t key, size_t num_shards, uint64_t seed);
 RunResult RunTraceSharded(const std::vector<CacheClient*>& shards, const workload::Trace& trace,
                           const std::vector<rdma::RemoteNode*>& nodes,
                           const RunOptions& options);
+
+// Contended multi-client replay: options.threads is ignored — every client
+// gets its own host thread, and unlike the sharded engine there is NO key
+// partitioning. Client c replays the strided sub-stream begin+c, begin+c+n,
+// ... of the trace, so clients race on whatever keys the trace makes them
+// share: slot CAS conflicts, duplicate-insert resolution, and eviction/victim
+// races all take their real concurrent paths against the shared pool(s).
+//
+// Clients must all be backed by the SAME dm::MemoryPool deployment (e.g.
+// bench::DittoDeployment), each with its own ClientContext — the per-client
+// FC cache, verbs endpoint, and scratch stay thread-private while the arena,
+// allocator freelists, and hash-table slots are genuinely shared. Results are
+// NOT bit-deterministic across runs (real races decide CAS winners); the
+// aggregate counters are still exact sums of what each client observed.
+// `per_client`, when non-null, receives one RunResult per client (ops, hit
+// rate, latency percentiles, and that client's contention counters).
+RunResult RunTraceContended(const std::vector<CacheClient*>& clients,
+                            const workload::Trace& trace,
+                            const std::vector<rdma::RemoteNode*>& nodes,
+                            const RunOptions& options,
+                            std::vector<RunResult>* per_client = nullptr);
 
 // Convenience: formats a result row.
 std::string FormatResult(const std::string& label, const RunResult& r);

@@ -23,6 +23,15 @@ std::string KeyString(uint64_t key) {
   return buf;
 }
 
+std::string_view FormatKey(uint64_t key, KeyBuf* buf) {
+  static constexpr char kHexDigits[] = "0123456789abcdef";
+  buf->data[0] = 'k';
+  for (int i = 0; i < 16; ++i) {
+    buf->data[1 + i] = kHexDigits[(key >> (60 - 4 * i)) & 0xF];
+  }
+  return std::string_view(buf->data, 17);
+}
+
 Op MixedOpAt(Op base, uint64_t index, const OpMix& mix) {
   if (base != Op::kGet || !mix.Active()) {
     return base;

@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace ditto::workload {
@@ -32,6 +33,15 @@ uint64_t Footprint(const Trace& trace);
 // Renders an integer key as the cache key string ("k%016x" zero-padded so
 // all keys have equal length).
 std::string KeyString(uint64_t key);
+
+// Allocation-free variant for replay hot paths: renders the same 17-byte key
+// into caller-owned storage and returns a view aliasing *buf (valid until the
+// next FormatKey into the same buffer). KeyString(k) == FormatKey(k, &buf)
+// for every key.
+struct KeyBuf {
+  char data[18];
+};
+std::string_view FormatKey(uint64_t key, KeyBuf* buf);
 
 // A deterministic op-kind mix applied over a trace's Gets. Fractions are
 // cumulative-checked in the order delete, expire, multiget; their sum should

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "common/clock.h"
@@ -9,6 +10,7 @@
 #include "common/hash.h"
 #include "common/histogram.h"
 #include "common/rand.h"
+#include "common/small_vec.h"
 
 namespace ditto {
 namespace {
@@ -245,6 +247,43 @@ TEST(HistogramTest, EmptyIsZero) {
   EXPECT_EQ(hist.count(), 0u);
   EXPECT_DOUBLE_EQ(hist.PercentileNs(99), 0.0);
   EXPECT_DOUBLE_EQ(hist.MeanNs(), 0.0);
+}
+
+TEST(SmallBufTest, InlineForSmallCountsHeapBeyond) {
+  SmallBuf<int, 4> buf;
+  int* a = buf.Acquire(3);
+  a[0] = 1;
+  a[1] = 2;
+  a[2] = 3;
+  // A second inline acquire reuses the same storage, reset to defaults.
+  int* b = buf.Acquire(4);
+  EXPECT_EQ(a, b) << "small counts must come from inline storage";
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(b[i], 0) << "elements must be freshly default-valued";
+  }
+  // Beyond the inline capacity the buffer falls back to (reused) heap.
+  int* big = buf.Acquire(100);
+  EXPECT_NE(big, b);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(big[i], 0);
+    big[i] = i;
+  }
+  int* big2 = buf.Acquire(100);
+  EXPECT_EQ(big2[99], 0) << "heap reuse must also reset elements";
+}
+
+TEST(SmallBufTest, WorksWithNonTrivialElementTypes) {
+  SmallBuf<std::string, 2> buf;
+  std::string* s = buf.Acquire(2);
+  s[0] = "hello";
+  s[1] = std::string(128, 'x');
+  s = buf.Acquire(2);
+  EXPECT_TRUE(s[0].empty());
+  EXPECT_TRUE(s[1].empty());
+  s = buf.Acquire(8);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(s[i].empty());
+  }
 }
 
 TEST(FlagsTest, ParsesAllForms) {

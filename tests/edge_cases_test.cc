@@ -88,14 +88,19 @@ TEST(EdgeCaseTest, KeyAtMaximumObjectSizeRoundTrips) {
   rdma::ClientContext ctx(0);
   DittoClient client(&pool, &ctx, Lru());
 
-  // kMaxRunBlocks * 64 = 1024 bytes: header(8) + expiry(8) + key(24)
-  // leaves 984.
+  // kMaxRunBlocks * 64 = 1024 bytes: header(8) + checksum(8) + expiry(8) +
+  // key(24) leaves 976.
   const std::string key(24, 'k');
-  const std::string value(984, 'v');
-  client.Set(key, value);
+  const std::string value(976, 'v');
+  EXPECT_TRUE(client.Set(key, value));
   std::string out;
   ASSERT_TRUE(client.Get(key, &out));
   EXPECT_EQ(out, value);
+
+  // One byte past the longest allocatable run must be dropped cleanly (it
+  // used to index past the allocator's freelist array in release builds).
+  EXPECT_FALSE(client.Set(key, value + "x"));
+  EXPECT_TRUE(client.Get(key, &out)) << "the oversized Set must not disturb the cached object";
 }
 
 TEST(EdgeCaseTest, RepeatedSetDeleteCycleDoesNotLeak) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/rand.h"
 #include "core/fc_cache.h"
 #include "dm/pool.h"
 #include "hashtable/hash_table.h"
@@ -91,6 +92,40 @@ TEST_F(FcCacheTest, DisabledModeIssuesOneFaaPerAccess) {
   }
   EXPECT_EQ(ctx_.atomics - atomics_before, 7u);
   EXPECT_EQ(FreqAt(slot), 7u);
+}
+
+TEST_F(FcCacheTest, DisabledPassthroughDoesNotCountFlushes) {
+  // Regression: the disabled-mode passthrough used to bump flushes_ per
+  // access, which skewed the flush metric benches compare across the
+  // ablation. A per-access FAA is not a flush of a buffered delta.
+  FcCache fc(&table_, 10, 1 << 20, /*enabled=*/false);
+  const uint64_t slot = table_.BucketSlotAddr(1, 0);
+  for (int i = 0; i < 25; ++i) {
+    fc.RecordAccess(slot, 16);
+  }
+  EXPECT_EQ(fc.flushes(), 0u) << "passthrough FAAs must not count as flushes";
+  EXPECT_EQ(fc.entry_count(), 0u);
+  EXPECT_EQ(fc.bytes_used(), 0u);
+}
+
+TEST_F(FcCacheTest, CapacityHoldsOnThresholdFlushAccesses) {
+  // Regression: the threshold-flush branch used to skip the capacity-eviction
+  // loop, so an access that triggered a flush could return with bytes_used_
+  // still above capacity_bytes_. The capacity bound must hold after EVERY
+  // access, whichever branch it takes.
+  constexpr size_t kCapacity = 120;  // three 40-byte entries
+  FcCache fc(&table_, /*threshold=*/2, kCapacity, /*enabled=*/true);
+  Rng rng(0xFCFC);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t slot = table_.BucketSlotAddr(1 + rng.NextBelow(8), 0);
+    // Vary the entry footprint so threshold flushes interleave with inserts
+    // that push the buffer over capacity.
+    fc.RecordAccess(slot, 8 + rng.NextBelow(64));
+    ASSERT_LE(fc.bytes_used(), kCapacity)
+        << "access " << i << " left the buffer over capacity";
+  }
+  fc.FlushAll();
+  EXPECT_EQ(fc.bytes_used(), 0u);
 }
 
 TEST_F(FcCacheTest, SeparateSlotsTrackedIndependently) {

@@ -107,8 +107,43 @@ TEST_F(HashTableTest, SamplingReadsConsecutiveSlots) {
 
 TEST_F(HashTableTest, SamplingClampsAtTableEnd) {
   std::vector<SlotView> sample;
-  table_.ReadSlots(table_.num_slots() - 2, 5, &sample);
+  EXPECT_TRUE(table_.ReadSlots(table_.num_slots() - 2, 5, &sample));
   EXPECT_EQ(sample.size(), 5u);  // clamped start, no out-of-bounds read
+}
+
+TEST_F(HashTableTest, SamplingReportsClampedStart) {
+  // Mark the last slot so we can verify which window was actually read.
+  const uint64_t last = table_.num_slots() - 1;
+  table_.CasAtomic(table_.SlotAddr(last), 0, PackAtomic(1, 1, 0xBEEF));
+  std::vector<SlotView> sample;
+  uint64_t actual_start = 0;
+  EXPECT_TRUE(table_.ReadSlots(table_.num_slots() + 100, 5, &sample, &actual_start));
+  EXPECT_EQ(actual_start, table_.num_slots() - 5)
+      << "the clamped start must be surfaced, not silently shifted";
+  ASSERT_EQ(sample.size(), 5u);
+  EXPECT_EQ(sample[4].pointer(), 0xBEEFu) << "window must end at the last slot";
+}
+
+TEST_F(HashTableTest, SamplingRejectsOversizedCount) {
+  // Regression: count > num_slots() used to underflow `num_slots() - count`
+  // and alias the READ into arbitrary table bytes. It must now fail cleanly
+  // without issuing any verb.
+  std::vector<SlotView> sample{SlotView{}};  // non-empty: must be cleared
+  const uint64_t reads_before = ctx_.reads;
+  EXPECT_FALSE(table_.ReadSlots(0, static_cast<int>(table_.num_slots()) + 1, &sample));
+  EXPECT_TRUE(sample.empty());
+  EXPECT_FALSE(table_.ReadSlots(0, 0, &sample));
+  EXPECT_FALSE(table_.ReadSlots(0, -3, &sample));
+  EXPECT_EQ(ctx_.reads, reads_before) << "rejected ranges must not touch the wire";
+}
+
+TEST_F(HashTableTest, ReadBucketRejectsOutOfRangeBucket) {
+  std::vector<SlotView> bucket{SlotView{}};
+  EXPECT_FALSE(table_.ReadBucket(table_.num_buckets(), &bucket))
+      << "an out-of-range bucket must fail instead of aliasing the last bucket";
+  EXPECT_TRUE(bucket.empty());
+  EXPECT_TRUE(table_.ReadBucket(table_.num_buckets() - 1, &bucket));
+  EXPECT_EQ(bucket.size(), static_cast<size_t>(table_.slots_per_bucket()));
 }
 
 TEST_F(HashTableTest, SamplingUsesSingleRead) {
@@ -124,6 +159,44 @@ TEST_F(HashTableTest, ExpertBmapSharesInsertTsField) {
   const SlotView slot = table_.ReadSlot(slot_addr);
   EXPECT_EQ(slot.expert_bmap(), 0b101u);
   EXPECT_EQ(slot.insert_ts, 0b101u) << "bmap is stored in insert_ts (paper Fig. 9)";
+}
+
+// Layout contract behind WriteExpertBmapAsync targeting kInsertTsOff: the
+// aliasing is INTENTIONAL (paper Fig. 9 — a history entry has no insert_ts,
+// so the word is reused for the expert bitmap) and is safe for the contended
+// engine because of two invariants pinned here: (1) the bmap is written only
+// after the slot's atomic word was CASed to the history tag, so no live
+// object's insert_ts can be hit, and (2) re-claiming the slot for an object
+// runs WriteAllMetadata, whose combined WRITE covers kInsertTsOff and
+// overwrites the stale bmap before the slot is ever read as an object.
+TEST_F(HashTableTest, HistoryBmapAliasingSurvivesSlotLifecycle) {
+  const uint64_t slot_addr = table_.BucketSlotAddr(11, 3);
+
+  // Live object with real metadata.
+  ASSERT_TRUE(table_.CasAtomic(slot_addr, 0, PackAtomic(0x21, 2, 0x1000)));
+  table_.WriteAllMetadata(slot_addr, /*hash=*/777, /*insert_ts=*/41, /*last_ts=*/42,
+                          /*freq=*/3);
+
+  // Eviction converts it to a history entry, then writes the bmap. Only the
+  // insert_ts word may change; hash/last_ts/freq survive for regret checks.
+  const uint64_t history_word = PackAtomic(0x21, kHistorySizeTag, /*hist_id=*/12345);
+  ASSERT_TRUE(table_.CasAtomic(slot_addr, PackAtomic(0x21, 2, 0x1000), history_word));
+  table_.WriteExpertBmapAsync(slot_addr, 0b11);
+  SlotView slot = table_.ReadSlot(slot_addr);
+  EXPECT_TRUE(slot.IsHistory());
+  EXPECT_EQ(slot.expert_bmap(), 0b11u);
+  EXPECT_EQ(slot.hash, 777u) << "bmap write must touch only the insert_ts word";
+  EXPECT_EQ(slot.last_ts, 42u);
+  EXPECT_EQ(slot.freq, 3u);
+
+  // Re-claiming the slot for a new object re-initializes all metadata: the
+  // stale bmap cannot leak into the new object's insert_ts.
+  ASSERT_TRUE(table_.CasAtomic(slot_addr, history_word, PackAtomic(0x33, 1, 0x2000)));
+  table_.WriteAllMetadata(slot_addr, /*hash=*/888, /*insert_ts=*/100, /*last_ts=*/100,
+                          /*freq=*/1);
+  slot = table_.ReadSlot(slot_addr);
+  EXPECT_TRUE(slot.IsObject());
+  EXPECT_EQ(slot.insert_ts, 100u) << "reinsert must overwrite the aliased bmap";
 }
 
 TEST_F(HashTableTest, ConcurrentCasOnSameSlotHasOneWinner) {

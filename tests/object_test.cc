@@ -10,8 +10,9 @@ namespace {
 
 TEST(ObjectTest, HeaderIsEightBytes) {
   static_assert(sizeof(ObjectHeader) == 8);
-  EXPECT_EQ(kExpiryOff, 8u) << "expiry word directly after the header";
-  EXPECT_EQ(kExtWordsOff, 16u) << "extension words after the expiry word";
+  EXPECT_EQ(kChecksumOff, 8u) << "integrity word directly after the header";
+  EXPECT_EQ(kExpiryOff, 16u) << "expiry word after the checksum";
+  EXPECT_EQ(kExtWordsOff, 24u) << "extension words after the expiry word";
 }
 
 TEST(ObjectTest, EncodeDecodeRoundTrip) {
@@ -66,11 +67,11 @@ TEST(ObjectTest, EmptyKeyAndValue) {
 }
 
 TEST(ObjectTest, BlockCountMatchesSize) {
-  EXPECT_EQ(ObjectBlocks(0, 0, 0), 1);       // 16-byte header+expiry -> 1 block
-  EXPECT_EQ(ObjectBlocks(8, 40, 0), 1);      // exactly 64 bytes
-  EXPECT_EQ(ObjectBlocks(8, 41, 0), 2);      // one byte over
-  EXPECT_EQ(ObjectBlocks(17, 232, 0), 5);    // the benches' 256-byte KV pair
-  EXPECT_EQ(ObjectBlocks(0, 0, 2), 1);       // 16 + 16 bytes of extensions
+  EXPECT_EQ(ObjectBlocks(0, 0, 0), 1);       // 24-byte header+checksum+expiry
+  EXPECT_EQ(ObjectBlocks(8, 32, 0), 1);      // exactly 64 bytes
+  EXPECT_EQ(ObjectBlocks(8, 41, 0), 2);      // over one block
+  EXPECT_EQ(ObjectBlocks(17, 232, 0), 5);    // the benches' KV pair
+  EXPECT_EQ(ObjectBlocks(0, 0, 2), 1);       // 24 + 16 bytes of extensions
 }
 
 TEST(ObjectTest, DecodeRejectsTruncatedBuffers) {
@@ -82,6 +83,43 @@ TEST(ObjectTest, DecodeRejectsTruncatedBuffers) {
   EXPECT_FALSE(DecodeObject(buf.data(), 32, &obj)) << "header claims more than available";
 }
 
+// The self-verification contract behind the two-READ contended Get: a
+// buffer whose immutable bytes were torn by a concurrent free/reuse fails
+// DecodeObject, while the words that are legitimately rewritten in place
+// after publication (expiry, extension metadata) stay outside the checksum.
+TEST(ObjectTest, ChecksumRejectsTornBuffersButAllowsInPlaceWords) {
+  std::vector<uint8_t> buf;
+  EncodeObject("torn-key", std::string(64, 'v'), nullptr, 0, &buf, /*expiry_tick=*/5);
+  DecodedObject obj;
+  ASSERT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
+
+  // A single flipped value byte (another object's bytes bleeding in) fails.
+  std::vector<uint8_t> torn = buf;
+  torn[kExtWordsOff + 10] ^= 0x01;
+  EXPECT_FALSE(DecodeObject(torn.data(), torn.size(), &obj));
+  // A torn header word fails too.
+  torn = buf;
+  torn[0] ^= 0x01;
+  EXPECT_FALSE(DecodeObject(torn.data(), torn.size(), &obj));
+
+  // Expire's in-place expiry rewrite must NOT invalidate the object...
+  std::vector<uint8_t> rearmed = buf;
+  const uint64_t new_expiry = 999;
+  std::memcpy(rearmed.data() + kExpiryOff, &new_expiry, 8);
+  ASSERT_TRUE(DecodeObject(rearmed.data(), rearmed.size(), &obj));
+  EXPECT_EQ(obj.expiry_tick, 999u);
+
+  // ...and neither must TouchObject's in-place extension-word updates.
+  std::vector<uint8_t> ext_buf;
+  const uint64_t ext[2] = {1, 2};
+  EncodeObject("k", "v", ext, 2, &ext_buf);
+  const uint64_t updated[2] = {7, 8};
+  std::memcpy(ext_buf.data() + kExtWordsOff, updated, sizeof(updated));
+  ASSERT_TRUE(DecodeObject(ext_buf.data(), ext_buf.size(), &obj));
+  EXPECT_EQ(obj.ext[0], 7u);
+  EXPECT_EQ(obj.ext[1], 8u);
+}
+
 TEST(ObjectTest, DecodeRejectsAbsurdExtensionCount) {
   std::vector<uint8_t> buf(64, 0);
   ObjectHeader header{0, 0, 200};  // ext_words > kMaxExtensionWords
@@ -91,9 +129,10 @@ TEST(ObjectTest, DecodeRejectsAbsurdExtensionCount) {
 }
 
 TEST(ObjectTest, LargeValuesUpToMaxRun) {
-  // kMaxRunBlocks * 64 = 1024 bytes total; header 8 + key 8 leaves 1008.
+  // kMaxRunBlocks * 64 = 1024 bytes total; the 24-byte preamble + an 8-byte
+  // key leave 992 for the value.
   const std::string key = "8bytekey";
-  const std::string value(1000, 'z');
+  const std::string value(992, 'z');
   ASSERT_LE(ObjectBlocks(key.size(), value.size(), 0), dm::kMaxRunBlocks);
   std::vector<uint8_t> buf;
   EncodeObject(key, value, nullptr, 0, &buf);

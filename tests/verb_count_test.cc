@@ -105,6 +105,20 @@ TEST_F(VerbCountTest, SetInsertUnderCapacityCost) {
   EXPECT_EQ(d.rpcs, 0u);
 }
 
+TEST_F(VerbCountTest, ValidatedInsertPaysOneExtraRead) {
+  // Contended deployments (validate_inserts) add exactly one duplicate-
+  // validation bucket READ after publishing — the RACE-hashing re-read that
+  // lets concurrent inserters of one key converge on a single copy.
+  DittoConfig config = Config();
+  config.validate_inserts = true;
+  rdma::ClientContext ctx(2);
+  DittoClient client(&pool_, &ctx, config);
+  client.Set("warm", "v");  // warm the allocator/segment
+  const uint64_t reads_before = ctx.reads;
+  client.Set("validated-new-key", "value");
+  EXPECT_EQ(ctx.reads - reads_before, 4u) << "3 insert READs + 1 validation READ";
+}
+
 TEST_F(VerbCountTest, DeleteIsReadPlusCas) {
   client_->Set("key", "value");
   const VerbCounts before = Snapshot();

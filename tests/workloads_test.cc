@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "common/rand.h"
 #include "sim/hit_rate.h"
 #include "workloads/synthetic_traces.h"
 #include "workloads/trace.h"
@@ -21,6 +22,19 @@ TEST(TraceTest, KeyStringIsFixedWidthAndUnique) {
   const std::string b = KeyString(0xFFFFFFFFULL);
   EXPECT_EQ(a.size(), b.size());
   EXPECT_NE(a, b);
+}
+
+TEST(TraceTest, FormatKeyMatchesKeyStringExactly) {
+  // The allocation-free hot-path formatter must agree byte-for-byte with
+  // KeyString — the replay engines key the cache with FormatKey while tests
+  // and examples use KeyString, and the two must address the same objects.
+  KeyBuf buf;
+  Rng rng(0xF00D);
+  const uint64_t samples[] = {0, 1, 0xF, 0x10, 0xDEADBEEF, ~uint64_t{0},
+                              rng.Next(), rng.Next(), rng.Next()};
+  for (const uint64_t key : samples) {
+    EXPECT_EQ(KeyString(key), FormatKey(key, &buf)) << "key " << key;
+  }
 }
 
 TEST(TraceTest, InterleavePreservesMultiset) {
