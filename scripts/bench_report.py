@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Merge bench/out/BENCH_*.json into one performance-trajectory table.
+
+Every bench that prints machine-readable "BENCH_JSON {...}" rows (see
+bench::EmitBenchJson) gets those rows collected by scripts/run_benches.sh into
+bench/out/BENCH_<name>.json. This script merges all of them into:
+
+  bench/out/report.json  - one flat JSON array of every row, tagged by file
+  bench/out/report.md    - a markdown table of the same rows
+
+so CI artifacts and future PRs can diff ops / throughput / hit rate /
+nearest-rank p50/p99 (and wall_mops where measured) across the repo's history
+without parsing bench stdout.
+
+Usage: scripts/bench_report.py [--out-dir bench/out]
+Exits non-zero when no BENCH_*.json files are found.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+COLUMNS = [
+    ("bench", "bench"),
+    ("label", "label"),
+    ("ops", "ops"),
+    ("throughput_mops", "tput_mops"),
+    ("hit_rate", "hit_rate"),
+    ("p50_us", "p50_us"),
+    ("p99_us", "p99_us"),
+    ("wall_mops", "wall_mops"),
+]
+
+
+def format_cell(value):
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default="bench/out",
+                        help="directory holding BENCH_*.json (default bench/out)")
+    args = parser.parse_args()
+
+    paths = sorted(glob.glob(os.path.join(args.out_dir, "BENCH_*.json")))
+    if not paths:
+        print(f"bench_report: no BENCH_*.json under {args.out_dir}", file=sys.stderr)
+        return 1
+
+    rows = []
+    for path in paths:
+        with open(path, encoding="utf-8") as f:
+            try:
+                data = json.load(f)
+            except json.JSONDecodeError as e:
+                print(f"bench_report: skipping malformed {path}: {e}", file=sys.stderr)
+                continue
+        if not isinstance(data, list):
+            print(f"bench_report: skipping {path}: expected a JSON array", file=sys.stderr)
+            continue
+        for row in data:
+            if not isinstance(row, dict):
+                print(f"bench_report: skipping non-object row in {path}", file=sys.stderr)
+                continue
+            row["source"] = os.path.basename(path)
+            rows.append(row)
+
+    report_json = os.path.join(args.out_dir, "report.json")
+    with open(report_json, "w", encoding="utf-8") as f:
+        json.dump(rows, f, indent=2)
+        f.write("\n")
+
+    report_md = os.path.join(args.out_dir, "report.md")
+    with open(report_md, "w", encoding="utf-8") as f:
+        f.write("# Bench trajectory\n\n")
+        f.write(f"{len(rows)} rows from {len(paths)} bench result files.\n\n")
+        f.write("| " + " | ".join(header for _, header in COLUMNS) + " |\n")
+        f.write("|" + "|".join("---" for _ in COLUMNS) + "|\n")
+        for row in rows:
+            f.write("| " + " | ".join(format_cell(row.get(key)) for key, _ in COLUMNS) + " |\n")
+
+    print(f"bench_report: wrote {report_md} and {report_json} ({len(rows)} rows)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

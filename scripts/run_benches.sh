@@ -10,17 +10,34 @@
 # those rows collected into bench/out/BENCH_<name>.json, so CI and future PRs
 # can diff perf numbers without parsing the human tables.
 #
-# Usage: scripts/run_benches.sh [--scale=N]
+# Usage: scripts/run_benches.sh [--native] [--scale=N]
+#   --native  builds with DITTO_NATIVE=ON (-O3 -march=native) in a separate
+#             build dir, so wall-clock numbers reflect the host hardware.
 # Extra args are forwarded to every bench binary.
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
 out_dir="${repo_root}/bench/out"
+native=OFF
+args=()
+for arg in "$@"; do
+  if [ "${arg}" = "--native" ]; then
+    native=ON
+    build_dir="${repo_root}/build-bench-native"
+    # Keep host-tuned numbers out of the portable perf trajectory: native
+    # runs get their own output dir, so BENCH_*.json rows never mix flavors.
+    out_dir="${repo_root}/bench/out-native"
+  else
+    args+=("${arg}")
+  fi
+done
+set -- ${args[@]+"${args[@]}"}
+out_rel="${out_dir#${repo_root}/}"
 mkdir -p "${out_dir}"
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
-      -DDITTO_BUILD_TESTS=OFF >/dev/null
+      -DDITTO_NATIVE="${native}" -DDITTO_BUILD_TESTS=OFF >/dev/null
 cmake --build "${build_dir}" -j "$(nproc)" >/dev/null
 
 summary="${out_dir}/summary.json"
@@ -28,7 +45,7 @@ echo "[" > "${summary}"
 first=1
 
 for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine "${build_dir}"/elastic_scaling \
-             "${build_dir}"/contended_engine; do
+             "${build_dir}"/contended_engine "${build_dir}"/pipelined_engine; do
   [ -x "${bench}" ] || continue
   name="$(basename "${bench}")"
   out_file="${out_dir}/${name}.txt"
@@ -40,8 +57,8 @@ for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine "${build_dir}"/el
   seconds="$(echo "${end} ${start}" | awk '{printf "%.2f", $1 - $2}')"
   [ "${first}" -eq 1 ] || echo "," >> "${summary}"
   first=0
-  printf '  {"bench": "%s", "exit_code": %d, "seconds": %s, "output": "bench/out/%s.txt"}' \
-         "${name}" "${status}" "${seconds}" "${name}" >> "${summary}"
+  printf '  {"bench": "%s", "exit_code": %d, "seconds": %s, "output": "%s/%s.txt"}' \
+         "${name}" "${status}" "${seconds}" "${out_rel}" "${name}" >> "${summary}"
   if [ "${status}" -ne 0 ]; then
     echo "   FAILED (exit ${status}) — see ${out_file}"
   fi
@@ -66,3 +83,9 @@ done
 echo >> "${summary}"
 echo "]" >> "${summary}"
 echo "wrote ${summary}"
+
+# Merge every BENCH_*.json into the cross-PR trajectory table. Individual
+# bench failures are tolerated above, so an empty collection is a warning,
+# not a script failure.
+python3 "${repo_root}/scripts/bench_report.py" --out-dir "${out_dir}" ||
+  echo "bench_report: no machine-readable rows collected" 

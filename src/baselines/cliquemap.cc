@@ -35,15 +35,24 @@ CliqueMapServer::CliqueMapServer(dm::MemoryPool* pool, const CliqueMapConfig& co
                                              : pool->capacity_objects()),
       bump_(pool->heap_addr() + dm::kBlockBytes),
       free_runs_(dm::kMaxRunBlocks + 1) {
-  pool->RegisterRpc(kRpcCmSet, [this](std::string_view request) { return HandleSet(request); });
-  pool->RegisterRpc(kRpcCmSync,
-                    [this](std::string_view request) { return HandleSync(request); });
-  pool->RegisterRpc(kRpcCmDelete,
-                    [this](std::string_view request) { return HandleDelete(request); });
-  pool->RegisterRpc(kRpcCmExpire,
-                    [this](std::string_view request) { return HandleExpire(request); });
-  pool->RegisterRpc(kRpcCmResize,
-                    [this](std::string_view request) { return HandleResize(request); });
+  // The handlers keep their string-returning form (server-side cost is
+  // modelled by CpuModel, not allocator traffic); the adaptor writes into the
+  // dispatcher-provided caller buffer.
+  pool->RegisterRpc(kRpcCmSet, [this](std::string_view request, std::string* response) {
+    *response = HandleSet(request);
+  });
+  pool->RegisterRpc(kRpcCmSync, [this](std::string_view request, std::string* response) {
+    *response = HandleSync(request);
+  });
+  pool->RegisterRpc(kRpcCmDelete, [this](std::string_view request, std::string* response) {
+    *response = HandleDelete(request);
+  });
+  pool->RegisterRpc(kRpcCmExpire, [this](std::string_view request, std::string* response) {
+    *response = HandleExpire(request);
+  });
+  pool->RegisterRpc(kRpcCmResize, [this](std::string_view request, std::string* response) {
+    *response = HandleResize(request);
+  });
 }
 
 uint64_t CliqueMapServer::size() const {
@@ -308,7 +317,7 @@ bool CliqueMapClient::DoGet(std::string_view key, std::string* value) {
     if (obj.ExpiredAt(pool_->clock().Tick())) {
       // Lazy expiry: ask the server (the only writer of its structures) to
       // drop the dead object, then report a miss.
-      verbs_.Rpc(kRpcCmDelete, std::string(key), server_->config().set_service_us);
+      verbs_.Rpc(kRpcCmDelete, key, &rpc_response_, server_->config().set_service_us);
       counters_.expired++;
       counters_.misses++;
       return false;
@@ -328,23 +337,22 @@ bool CliqueMapClient::DoSet(std::string_view key, std::string_view value, uint64
   counters_.sets++;
   SetRequestHeader header{static_cast<uint32_t>(value.size()), static_cast<uint16_t>(key.size()),
                           0, ttl_ticks == 0 ? 0 : pool_->clock().Tick() + ttl_ticks};
-  std::string request(sizeof(header) + key.size() + value.size(), '\0');
-  std::memcpy(request.data(), &header, sizeof(header));
-  std::memcpy(request.data() + sizeof(header), key.data(), key.size());
-  std::memcpy(request.data() + sizeof(header) + key.size(), value.data(), value.size());
-  const std::string response = verbs_.Rpc(kRpcCmSet, request, server_->config().set_service_us);
-  if (response.size() >= 9) {
+  rpc_request_.resize(sizeof(header) + key.size() + value.size());
+  std::memcpy(rpc_request_.data(), &header, sizeof(header));
+  std::memcpy(rpc_request_.data() + sizeof(header), key.data(), key.size());
+  std::memcpy(rpc_request_.data() + sizeof(header) + key.size(), value.data(), value.size());
+  verbs_.Rpc(kRpcCmSet, rpc_request_, &rpc_response_, server_->config().set_service_us);
+  if (rpc_response_.size() >= 9) {
     uint64_t evictions = 0;
-    std::memcpy(&evictions, response.data() + 1, 8);
+    std::memcpy(&evictions, rpc_response_.data() + 1, 8);
     counters_.evictions += evictions;
   }
-  return !response.empty() && response[0] == '\1';
+  return !rpc_response_.empty() && rpc_response_[0] == '\1';
 }
 
 bool CliqueMapClient::DoDelete(std::string_view key) {
-  const std::string response =
-      verbs_.Rpc(kRpcCmDelete, std::string(key), server_->config().set_service_us);
-  const bool deleted = !response.empty() && response[0] == '\1';
+  verbs_.Rpc(kRpcCmDelete, key, &rpc_response_, server_->config().set_service_us);
+  const bool deleted = !rpc_response_.empty() && rpc_response_[0] == '\1';
   if (deleted) {
     counters_.deletes++;
   }
@@ -353,12 +361,11 @@ bool CliqueMapClient::DoDelete(std::string_view key) {
 
 bool CliqueMapClient::DoExpire(std::string_view key, uint64_t ttl_ticks) {
   const uint64_t expiry = ttl_ticks == 0 ? 0 : pool_->clock().Tick() + ttl_ticks;
-  std::string request(8 + key.size(), '\0');
-  std::memcpy(request.data(), &expiry, 8);
-  std::memcpy(request.data() + 8, key.data(), key.size());
-  const std::string response =
-      verbs_.Rpc(kRpcCmExpire, request, server_->config().set_service_us);
-  return !response.empty() && response[0] == '\1';
+  rpc_request_.resize(8 + key.size());
+  std::memcpy(rpc_request_.data(), &expiry, 8);
+  std::memcpy(rpc_request_.data() + 8, key.data(), key.size());
+  verbs_.Rpc(kRpcCmExpire, rpc_request_, &rpc_response_, server_->config().set_service_us);
+  return !rpc_response_.empty() && rpc_response_[0] == '\1';
 }
 
 bool CliqueMapClient::ResizeCapacity(uint64_t capacity_objects) {
@@ -394,16 +401,16 @@ void CliqueMapClient::SyncAccessInfo() {
   if (access_buffer_.empty()) {
     return;
   }
-  std::string request(access_buffer_.size() * 16, '\0');
+  rpc_request_.resize(access_buffer_.size() * 16);
   size_t i = 0;
   for (const auto& [hash, count] : access_buffer_) {
-    std::memcpy(request.data() + i * 16, &hash, 8);
-    std::memcpy(request.data() + i * 16 + 8, &count, 8);
+    std::memcpy(rpc_request_.data() + i * 16, &hash, 8);
+    std::memcpy(rpc_request_.data() + i * 16 + 8, &count, 8);
     ++i;
   }
   const double service_us =
       server_->config().sync_service_us_per_entry * static_cast<double>(access_buffer_.size());
-  verbs_.Rpc(kRpcCmSync, request, service_us);
+  verbs_.Rpc(kRpcCmSync, rpc_request_, &rpc_response_, service_us);
   access_buffer_.clear();
   buffered_ = 0;
 }

@@ -127,6 +127,10 @@ class CliqueMapClient : public sim::CacheClient {
   int buffered_ = 0;
   std::vector<uint8_t> object_buf_;
   std::vector<ht::SlotView> bucket_buf_;
+  // RPC scratch reused across ops (Set/Delete/Expire/Sync sit on the hot
+  // path; steady-state RPCs reuse these buffers' capacity).
+  std::string rpc_request_;
+  std::string rpc_response_;
 };
 
 }  // namespace ditto::baselines

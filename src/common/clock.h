@@ -33,6 +33,14 @@ class VirtualClock {
  public:
   void AdvanceNs(uint64_t ns) { busy_ns_ += ns; }
   void AdvanceUs(double us) { busy_ns_ += static_cast<uint64_t>(us * 1000.0); }
+  // Advances to an absolute busy-time point (no-op when already past it).
+  // Used when retiring pipelined operations: the client blocks until the
+  // op's completion timestamp unless later work already moved the clock.
+  void AdvanceToNs(uint64_t ns) {
+    if (ns > busy_ns_) {
+      busy_ns_ = ns;
+    }
+  }
   uint64_t busy_ns() const { return busy_ns_; }
   double busy_us() const { return static_cast<double>(busy_ns_) / 1000.0; }
   void Reset() { busy_ns_ = 0; }

@@ -65,11 +65,11 @@ void Normalize(std::vector<double>& w) {
   }
 }
 
-std::string EncodeDoubles(const std::vector<double>& values) {
-  std::string out(values.size() * 8, '\0');
-  std::memcpy(out.data(), values.data(), out.size());
-  return out;
+void EncodeDoubles(const std::vector<double>& values, std::string* out) {
+  out->resize(values.size() * 8);
+  std::memcpy(out->data(), values.data(), out->size());
 }
+
 
 // Decodes a packed array of doubles. A payload whose length is not a
 // multiple of 8 is malformed (trailing bytes would be silently dropped), so
@@ -88,10 +88,12 @@ std::vector<double> DecodeDoubles(std::string_view in) {
 AdaptiveController::AdaptiveController(dm::MemoryPool* pool, int num_experts)
     : weights_(num_experts, 1.0 / static_cast<double>(num_experts)) {
   pool->RegisterRpc(dm::kRpcUpdateWeights,
-                    [this](std::string_view request) { return HandleUpdate(request); });
+                    [this](std::string_view request, std::string* response) {
+                      HandleUpdate(request, response);
+                    });
 }
 
-std::string AdaptiveController::HandleUpdate(std::string_view request) {
+void AdaptiveController::HandleUpdate(std::string_view request, std::string* response) {
   const std::vector<double> penalties = DecodeDoubles(request);
   std::lock_guard<std::mutex> lock(mu_);
   // A malformed payload (trailing bytes, wrong expert count) is rejected with
@@ -99,12 +101,12 @@ std::string AdaptiveController::HandleUpdate(std::string_view request) {
   // different expert configuration would otherwise silently skew everyone.
   if (penalties.size() != weights_.size()) {
     rejected_++;
-    return std::string();
+    return;
   }
   for (double p : penalties) {
     if (!std::isfinite(p)) {
       rejected_++;
-      return std::string();
+      return;
     }
   }
   updates_++;
@@ -113,7 +115,7 @@ std::string AdaptiveController::HandleUpdate(std::string_view request) {
     weights_[i] *= std::exp(-penalties[i]);
   }
   Normalize(weights_);
-  return EncodeDoubles(weights_);
+  EncodeDoubles(weights_, response);
 }
 
 std::vector<double> AdaptiveController::weights() const {
@@ -174,10 +176,11 @@ void AdaptiveState::Flush() {
   if (pending_count_ == 0) {
     return;
   }
-  const std::string response = verbs_->Rpc(dm::kRpcUpdateWeights, EncodeDoubles(pending_penalties_));
-  std::vector<double> global = DecodeDoubles(response);
-  if (static_cast<int>(global.size()) == config_.num_experts) {
-    weights_ = std::move(global);
+  EncodeDoubles(pending_penalties_, &rpc_request_);
+  verbs_->Rpc(dm::kRpcUpdateWeights, rpc_request_, &rpc_response_);
+  // Decode in place: the response is the controller's global weight vector.
+  if (rpc_response_.size() == static_cast<size_t>(config_.num_experts) * 8) {
+    std::memcpy(weights_.data(), rpc_response_.data(), rpc_response_.size());
   }
   std::fill(pending_penalties_.begin(), pending_penalties_.end(), 0.0);
   pending_count_ = 0;

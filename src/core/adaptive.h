@@ -43,7 +43,7 @@ class AdaptiveController {
   uint64_t updates_rejected() const { return rejected_; }
 
  private:
-  std::string HandleUpdate(std::string_view request);
+  void HandleUpdate(std::string_view request, std::string* response);
 
   mutable std::mutex mu_;
   std::vector<double> weights_;
@@ -82,6 +82,10 @@ class AdaptiveState {
   int pending_count_ = 0;
   uint64_t flushes_ = 0;
   double log_discount_;  // ln(d) = ln(base)/N
+  // RPC scratch reused across flushes: the weight-update RPC sits on the
+  // miss path, so steady-state flushes must not allocate.
+  std::string rpc_request_;
+  std::string rpc_response_;
 };
 
 }  // namespace ditto::core

@@ -48,10 +48,14 @@ DittoClient::DittoClient(dm::MemoryPool* pool, rdma::ClientContext* ctx,
                                   config_.enable_fc_cache, config_.fc_max_age_accesses);
 }
 
+DittoClient::SuperblockView DittoClient::DecodeSuperblock(const uint64_t raw[4]) {
+  return SuperblockView{raw[0], raw[1], raw[2], raw[3]};
+}
+
 DittoClient::SuperblockView DittoClient::ReadSuperblock() {
   uint64_t raw[4];
   verbs_.Read(dm::kHistCounterAddr, raw, sizeof(raw));
-  return SuperblockView{raw[0], raw[1], raw[2], raw[3]};
+  return DecodeSuperblock(raw);
 }
 
 uint64_t DittoClient::NowTick() { return pool_->clock().Tick(); }
@@ -139,68 +143,115 @@ void DittoClient::TouchObject(uint64_t slot_addr, const ht::SlotView& slot,
 }
 
 bool DittoClient::Get(std::string_view key, std::string* value) {
-  stats_.gets++;
-  const uint64_t hash = HashKey(key);
-  const uint8_t fp = Fingerprint(hash);
-  const uint64_t bucket = table_.BucketIndexFor(hash);
+  GetOp op;
+  StartGet(&op, key, value);
+  while (!StepGet(&op)) {
+  }
+  return op.hit;
+}
 
-  table_.ReadBucket(bucket, &bucket_buf_);
-  for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+void DittoClient::StartGet(GetOp* op, std::string_view key, std::string* value) {
+  stats_.gets++;
+  op->key = key;
+  op->value = value;
+  op->hash = HashKey(key);
+  op->fp = Fingerprint(op->hash);
+  op->bucket = table_.BucketIndexFor(op->hash);
+  op->wr = table_.PostReadBucket(op->bucket, &bucket_buf_);
+  op->stage = GetOp::Stage::kMatchSlot;
+}
+
+void DittoClient::GetMatchNext(GetOp* op) {
+  for (int i = op->scan_from; i < table_.slots_per_bucket(); ++i) {
     const ht::SlotView& slot = bucket_buf_[i];
-    if (!slot.IsObject() || slot.fp() != fp || slot.hash != hash) {
+    if (!slot.IsObject() || slot.fp() != op->fp || slot.hash != op->hash) {
       continue;
     }
-    const uint64_t obj_addr = slot.pointer();
+    op->slot = i;
+    op->scan_from = i + 1;
     const size_t obj_bytes = static_cast<size_t>(slot.size_blocks()) * dm::kBlockBytes;
     object_buf_.resize(obj_bytes);
-    verbs_.Read(obj_addr, object_buf_.data(), obj_bytes);
-    DecodedObject obj;
-    if (!DecodeObject(object_buf_.data(), obj_bytes, &obj) || obj.key != key) {
-      continue;  // fingerprint + hash collision with a different key
-    }
-    if (obj.ExpiredAt(pool_->clock().Now())) {
-      // Lazy expiry: reclaim the dead object and report a miss. Losing the
-      // CAS means a concurrent client already reclaimed or replaced it.
-      if (CasSlot(table_.BucketSlotAddr(bucket, i), slot.atomic_word, 0)) {
-        alloc_.FreeBlocks(obj_addr, slot.size_blocks());
-        verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
-      }
-      stats_.expired++;
-      stats_.misses++;
-      return false;
-    }
-    if (value != nullptr) {
-      value->assign(obj.value);
-    }
-    TouchObject(table_.BucketSlotAddr(bucket, i), slot, &obj, obj_addr);
-    stats_.hits++;
-    return true;
+    op->wr = verbs_.PostRead(slot.pointer(), object_buf_.data(), obj_bytes);
+    op->stage = GetOp::Stage::kVerifyObject;
+    return;
   }
+  op->wr = 0;
+  op->stage = GetOp::Stage::kMissHistory;
+}
 
-  stats_.misses++;
-  // Regret collection: a missed key whose history entry is still within the
-  // logical FIFO window penalizes the experts that evicted it.
-  if (config_.adaptive()) {
-    if (!config_.enable_history) {
-      // A non-embedded history must be probed on every miss; the embedded
-      // design collects regrets for free during the bucket scan.
-      ChargeExternalHistoryLookup();
-    }
-    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
-      const ht::SlotView& slot = bucket_buf_[i];
-      if (!slot.IsHistory() || slot.hash != hash) {
-        continue;
+bool DittoClient::StepGet(GetOp* op) {
+  switch (op->stage) {
+    case GetOp::Stage::kMatchSlot:
+      verbs_.WaitWr(op->wr);
+      GetMatchNext(op);
+      return false;
+
+    case GetOp::Stage::kVerifyObject: {
+      verbs_.WaitWr(op->wr);
+      const ht::SlotView& slot = bucket_buf_[op->slot];
+      const uint64_t obj_addr = slot.pointer();
+      const size_t obj_bytes = static_cast<size_t>(slot.size_blocks()) * dm::kBlockBytes;
+      DecodedObject obj;
+      if (!DecodeObject(object_buf_.data(), obj_bytes, &obj) || obj.key != op->key) {
+        // Fingerprint + hash collision with a different key: keep scanning.
+        GetMatchNext(op);
+        return false;
       }
-      const SuperblockView super = ReadSuperblock();
-      const uint64_t age = (super.hist_counter - slot.history_id()) & kMask48;
-      if (age <= super.hist_size) {
-        adaptive_->OnRegret(slot.expert_bmap(), age);
-        stats_.regrets++;
+      if (obj.ExpiredAt(pool_->clock().Now())) {
+        // Lazy expiry: reclaim the dead object and report a miss. Losing the
+        // CAS means a concurrent client already reclaimed or replaced it.
+        if (CasSlot(table_.BucketSlotAddr(op->bucket, op->slot), slot.atomic_word, 0)) {
+          alloc_.FreeBlocks(obj_addr, slot.size_blocks());
+          verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+        }
+        stats_.expired++;
+        stats_.misses++;
+        op->hit = false;
+        op->stage = GetOp::Stage::kRetired;
+        return true;
       }
-      break;
+      if (op->value != nullptr) {
+        op->value->assign(obj.value);
+      }
+      TouchObject(table_.BucketSlotAddr(op->bucket, op->slot), slot, &obj, obj_addr);
+      stats_.hits++;
+      op->hit = true;
+      op->stage = GetOp::Stage::kRetired;
+      return true;
     }
+
+    case GetOp::Stage::kMissHistory:
+      stats_.misses++;
+      // Regret collection: a missed key whose history entry is still within
+      // the logical FIFO window penalizes the experts that evicted it.
+      if (config_.adaptive()) {
+        if (!config_.enable_history) {
+          // A non-embedded history must be probed on every miss; the embedded
+          // design collects regrets for free during the bucket scan.
+          ChargeExternalHistoryLookup();
+        }
+        for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+          const ht::SlotView& slot = bucket_buf_[i];
+          if (!slot.IsHistory() || slot.hash != op->hash) {
+            continue;
+          }
+          const SuperblockView super = ReadSuperblock();
+          const uint64_t age = (super.hist_counter - slot.history_id()) & kMask48;
+          if (age <= super.hist_size) {
+            adaptive_->OnRegret(slot.expert_bmap(), age);
+            stats_.regrets++;
+          }
+          break;
+        }
+      }
+      op->hit = false;
+      op->stage = GetOp::Stage::kRetired;
+      return true;
+
+    case GetOp::Stage::kRetired:
+      return true;
   }
-  return false;
+  return true;
 }
 
 bool DittoClient::EvictOne() {
@@ -451,119 +502,208 @@ bool DittoClient::ClaimSlotAndPublish(uint64_t bucket, uint64_t hash, uint8_t fp
 }
 
 bool DittoClient::Set(std::string_view key, std::string_view value, uint64_t ttl_ticks) {
+  SetOp op;
+  StartSet(&op, key, value, ttl_ticks);
+  while (!StepSet(&op)) {
+  }
+  return op.stored;
+}
+
+void DittoClient::StartSet(SetOp* op, std::string_view key, std::string_view value,
+                           uint64_t ttl_ticks) {
   stats_.sets++;
-  if (ObjectBlocks(key.size(), value.size(), total_ext_words_) > dm::kMaxRunBlocks) {
-    return false;  // larger than the longest allocatable block run: drop
+  op->key = key;
+  op->value = value;
+  op->blocks = ObjectBlocks(key.size(), value.size(), total_ext_words_);
+  if (op->blocks > dm::kMaxRunBlocks) {
+    // Larger than the longest allocatable block run: drop.
+    op->stored = false;
+    op->stage = SetOp::Stage::kRetired;
+    return;
   }
-  const uint64_t hash = HashKey(key);
-  const uint8_t fp = Fingerprint(hash);
-  const uint64_t bucket = table_.BucketIndexFor(hash);
-  const uint64_t now = NowTick();
-  const uint64_t expiry = ttl_ticks == 0 ? 0 : now + ttl_ticks;
+  op->hash = HashKey(key);
+  op->fp = Fingerprint(op->hash);
+  op->bucket = table_.BucketIndexFor(op->hash);
+  op->now = NowTick();
+  op->expiry = ttl_ticks == 0 ? 0 : op->now + ttl_ticks;
+  // Update path first: check whether the key is already cached.
+  op->wr = table_.PostReadBucket(op->bucket, &bucket_buf_);
+  op->stage = SetOp::Stage::kMatchForUpdate;
+}
 
-  // Update path: the key is already cached.
-  for (int attempt = 0; attempt < 4; ++attempt) {
-    table_.ReadBucket(bucket, &bucket_buf_);
-    int found = -1;
-    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
-      const ht::SlotView& slot = bucket_buf_[i];
-      if (slot.IsObject() && slot.fp() == fp && slot.hash == hash) {
-        found = i;
-        break;
+void DittoClient::SetEnterInsert(SetOp* op) {
+  op->wr = verbs_.PostRead(dm::kHistCounterAddr, op->super_raw, sizeof(op->super_raw));
+  op->stage = SetOp::Stage::kInsertReserve;
+}
+
+bool DittoClient::StepSet(SetOp* op) {
+  switch (op->stage) {
+    case SetOp::Stage::kMatchForUpdate: {
+      verbs_.WaitWr(op->wr);
+      op->found_slot = -1;
+      for (int i = 0; i < table_.slots_per_bucket(); ++i) {
+        const ht::SlotView& slot = bucket_buf_[i];
+        if (slot.IsObject() && slot.fp() == op->fp && slot.hash == op->hash) {
+          op->found_slot = i;
+          op->found_atomic = slot.atomic_word;
+          op->found_pointer = slot.pointer();
+          op->found_blocks = slot.size_blocks();
+          break;
+        }
       }
-    }
-    if (found < 0) {
-      break;
-    }
-    const ht::SlotView& slot = bucket_buf_[found];
-    uint64_t ext[policy::Metadata::kMaxExtensionWords] = {0, 0, 0, 0};
-    if (total_ext_words_ > 0) {
-      verbs_.Read(slot.pointer() + kExtWordsOff, ext, static_cast<size_t>(total_ext_words_) * 8);
-    }
-    const int blocks = ObjectBlocks(key.size(), value.size(), total_ext_words_);
-    uint64_t addr = alloc_.AllocBlocks(blocks);
-    for (int i = 0; addr == 0 && i < 128; ++i) {
-      if (!EvictOne()) {
-        break;
+      if (op->found_slot < 0) {
+        SetEnterInsert(op);
+        return false;
       }
-      addr = alloc_.AllocBlocks(blocks);
+      std::fill(op->ext, op->ext + policy::Metadata::kMaxExtensionWords, 0);
+      op->have_ext_read = total_ext_words_ > 0;
+      if (op->have_ext_read) {
+        op->wr = verbs_.PostRead(op->found_pointer + kExtWordsOff, op->ext,
+                                 static_cast<size_t>(total_ext_words_) * 8);
+      }
+      op->evict_budget = 128;
+      op->stage = SetOp::Stage::kUpdateAlloc;
+      return false;
     }
-    if (addr == 0) {
-      return false;  // pool exhausted beyond recovery; drop the Set
+
+    case SetOp::Stage::kUpdateAlloc: {
+      if (op->have_ext_read) {
+        verbs_.WaitWr(op->wr);
+        op->have_ext_read = false;
+      }
+      op->addr = alloc_.AllocBlocks(op->blocks);
+      while (op->addr == 0 && op->evict_budget > 0) {
+        op->evict_budget--;
+        if (!EvictOne()) {
+          break;
+        }
+        op->addr = alloc_.AllocBlocks(op->blocks);
+      }
+      if (op->addr == 0) {
+        op->stored = false;  // pool exhausted beyond recovery; drop the Set
+        op->stage = SetOp::Stage::kRetired;
+        return true;
+      }
+      EncodeObject(op->key, op->value, op->ext, total_ext_words_, &encode_buf_, op->expiry);
+      op->wr = verbs_.PostWrite(op->addr, encode_buf_.data(), encode_buf_.size());
+      op->stage = SetOp::Stage::kUpdatePublish;
+      return false;
     }
-    EncodeObject(key, value, ext, total_ext_words_, &encode_buf_, expiry);
-    verbs_.Write(addr, encode_buf_.data(), encode_buf_.size());
-    const uint64_t desired = ht::PackAtomic(fp, static_cast<uint8_t>(blocks), addr);
-    if (CasSlot(table_.BucketSlotAddr(bucket, found), slot.atomic_word, desired)) {
-      alloc_.FreeBlocks(slot.pointer(), slot.size_blocks());
-      ht::SlotView updated = slot;
-      updated.atomic_word = desired;
-      object_buf_.assign(encode_buf_.begin(), encode_buf_.end());
-      DecodedObject obj;
-      DecodeObject(object_buf_.data(), object_buf_.size(), &obj);
-      TouchObject(table_.BucketSlotAddr(bucket, found), updated, &obj, addr);
+
+    case SetOp::Stage::kUpdatePublish: {
+      verbs_.WaitWr(op->wr);
+      const uint64_t desired =
+          ht::PackAtomic(op->fp, static_cast<uint8_t>(op->blocks), op->addr);
+      const uint64_t slot_addr = table_.BucketSlotAddr(op->bucket, op->found_slot);
+      if (CasSlot(slot_addr, op->found_atomic, desired)) {
+        alloc_.FreeBlocks(op->found_pointer, op->found_blocks);
+        ht::SlotView updated = bucket_buf_[op->found_slot];
+        updated.atomic_word = desired;
+        object_buf_.assign(encode_buf_.begin(), encode_buf_.end());
+        DecodedObject obj;
+        DecodeObject(object_buf_.data(), object_buf_.size(), &obj);
+        TouchObject(slot_addr, updated, &obj, op->addr);
+        op->stored = true;
+        op->stage = SetOp::Stage::kRetired;
+        return true;
+      }
+      alloc_.FreeBlocks(op->addr, op->blocks);
+      op->addr = 0;
+      stats_.set_retries++;
+      if (++op->attempt < 4) {
+        // Re-read the bucket and retry the in-place update.
+        op->wr = table_.PostReadBucket(op->bucket, &bucket_buf_);
+        op->stage = SetOp::Stage::kMatchForUpdate;
+      } else {
+        SetEnterInsert(op);
+      }
+      return false;
+    }
+
+    case SetOp::Stage::kInsertReserve: {
+      verbs_.WaitWr(op->wr);
+      const uint64_t capacity = DecodeSuperblock(op->super_raw).capacity;
+      const uint64_t prior = verbs_.FetchAdd(dm::kObjectCountAddr, 1);
+      op->evict_budget = 0;
+      if (prior + 1 > capacity) {
+        op->evict_budget = static_cast<int>(std::min<uint64_t>(prior + 1 - capacity, 8));
+      }
+      op->stage = SetOp::Stage::kInsertEvict;
+      return false;
+    }
+
+    case SetOp::Stage::kInsertEvict:
+      // One sampled eviction per step until the capacity overshoot is paid.
+      if (op->evict_budget > 0) {
+        op->evict_budget--;
+        if (EvictOne()) {
+          return false;
+        }
+        op->evict_budget = 0;  // nothing evictable: stop paying
+      }
+      op->stage = SetOp::Stage::kInsertAlloc;
+      op->evict_budget = 128;
+      return false;
+
+    case SetOp::Stage::kInsertAlloc: {
+      std::fill(op->ext, op->ext + policy::Metadata::kMaxExtensionWords, 0);
+      if (total_ext_words_ > 0) {
+        policy::Metadata meta;
+        meta.hash = op->hash;
+        meta.insert_ts = op->now;
+        meta.last_ts = op->now;
+        meta.freq = 1;
+        meta.size_bytes = static_cast<uint32_t>(
+            ObjectBytes(op->key.size(), op->value.size(), total_ext_words_));
+        meta.now = op->now;
+        int base = 0;
+        for (const auto& expert : experts_) {
+          const int words = expert->extension_words();
+          if (words == 0) {
+            continue;
+          }
+          policy::Metadata view = meta;
+          expert->OnInsert(view);
+          expert->Update(view);
+          std::copy(view.ext, view.ext + words, op->ext + base);
+          base += words;
+        }
+      }
+      op->addr = alloc_.AllocBlocks(op->blocks);
+      while (op->addr == 0 && op->evict_budget > 0) {
+        op->evict_budget--;
+        if (!EvictOne()) {
+          break;
+        }
+        op->addr = alloc_.AllocBlocks(op->blocks);
+      }
+      if (op->addr == 0) {
+        verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+        op->stored = false;  // drop: memory exhausted and nothing evictable
+        op->stage = SetOp::Stage::kRetired;
+        return true;
+      }
+      EncodeObject(op->key, op->value, op->ext, total_ext_words_, &encode_buf_, op->expiry);
+      op->wr = verbs_.PostWrite(op->addr, encode_buf_.data(), encode_buf_.size());
+      op->stage = SetOp::Stage::kInsertPublish;
+      return false;
+    }
+
+    case SetOp::Stage::kInsertPublish:
+      verbs_.WaitWr(op->wr);
+      if (!ClaimSlotAndPublish(op->bucket, op->hash, op->fp, op->addr, op->blocks, op->now)) {
+        alloc_.FreeBlocks(op->addr, op->blocks);
+        verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
+        op->stored = false;
+        op->stage = SetOp::Stage::kRetired;
+        return true;
+      }
+      op->stored = true;
+      op->stage = SetOp::Stage::kRetired;
       return true;
-    }
-    alloc_.FreeBlocks(addr, blocks);
-    stats_.set_retries++;
-  }
 
-  // Insert path.
-  const SuperblockView super = ReadSuperblock();
-  const uint64_t prior = verbs_.FetchAdd(dm::kObjectCountAddr, 1);
-  if (prior + 1 > super.capacity) {
-    uint64_t over = prior + 1 - super.capacity;
-    over = std::min<uint64_t>(over, 8);
-    for (uint64_t i = 0; i < over; ++i) {
-      if (!EvictOne()) {
-        break;
-      }
-    }
-  }
-
-  uint64_t ext[policy::Metadata::kMaxExtensionWords] = {0, 0, 0, 0};
-  if (total_ext_words_ > 0) {
-    policy::Metadata meta;
-    meta.hash = hash;
-    meta.insert_ts = now;
-    meta.last_ts = now;
-    meta.freq = 1;
-    meta.size_bytes = static_cast<uint32_t>(ObjectBytes(key.size(), value.size(),
-                                                        total_ext_words_));
-    meta.now = now;
-    int base = 0;
-    for (const auto& expert : experts_) {
-      const int words = expert->extension_words();
-      if (words == 0) {
-        continue;
-      }
-      policy::Metadata view = meta;
-      expert->OnInsert(view);
-      expert->Update(view);
-      std::copy(view.ext, view.ext + words, ext + base);
-      base += words;
-    }
-  }
-
-  const int blocks = ObjectBlocks(key.size(), value.size(), total_ext_words_);
-  uint64_t addr = alloc_.AllocBlocks(blocks);
-  for (int i = 0; addr == 0 && i < 128; ++i) {
-    if (!EvictOne()) {
-      break;
-    }
-    addr = alloc_.AllocBlocks(blocks);
-  }
-  if (addr == 0) {
-    verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
-    return false;  // drop: memory exhausted and nothing evictable
-  }
-  EncodeObject(key, value, ext, total_ext_words_, &encode_buf_, expiry);
-  verbs_.Write(addr, encode_buf_.data(), encode_buf_.size());
-
-  if (!ClaimSlotAndPublish(bucket, hash, fp, addr, blocks, now)) {
-    alloc_.FreeBlocks(addr, blocks);
-    verbs_.FetchAddAsync(dm::kObjectCountAddr, kMinusOne);
-    return false;
+    case SetOp::Stage::kRetired:
+      return true;
   }
   return true;
 }
@@ -641,7 +781,8 @@ bool DittoClient::Expire(std::string_view key, uint64_t ttl_ticks) {
 bool DittoClient::ResizeCapacity(uint64_t capacity_objects) {
   std::string request(8, '\0');
   std::memcpy(request.data(), &capacity_objects, 8);
-  const std::string response = verbs_.Rpc(dm::kRpcResize, request);
+  std::string response;
+  verbs_.Rpc(dm::kRpcResize, request, &response);
   if (response.size() != 8) {
     return false;  // controller rejected the resize
   }

@@ -1,5 +1,7 @@
 #include "core/sharded_client.h"
 
+#include <algorithm>
+
 #include "common/hash.h"
 
 namespace ditto::core {
@@ -121,6 +123,20 @@ void ShardedDittoClient::SetBatchOps(size_t ops) {
   for (const auto& client : clients_) {
     client->SetBatchOps(ops);
   }
+}
+
+void ShardedDittoClient::BeginPipelinedOp(uint64_t start_ns) {
+  for (const auto& client : clients_) {
+    client->BeginPipelinedOp(start_ns);
+  }
+}
+
+uint64_t ShardedDittoClient::EndPipelinedOp() {
+  uint64_t complete_ns = 0;
+  for (const auto& client : clients_) {
+    complete_ns = std::max(complete_ns, client->EndPipelinedOp());
+  }
+  return complete_ns;
 }
 
 DittoStats ShardedDittoClient::stats() const {

@@ -86,6 +86,12 @@ class ShardedDittoClient {
   // Doorbell-batches async metadata verbs on every per-node QP.
   void SetBatchOps(size_t ops);
 
+  // Pipelined-op timeline across all per-node QPs: an op routed to any node
+  // charges its waits to that node's detached cursor; the op's completion is
+  // the latest cursor across nodes (untouched nodes stay at start_ns).
+  void BeginPipelinedOp(uint64_t start_ns);
+  uint64_t EndPipelinedOp();
+
   // Aggregated statistics across the per-node clients.
   DittoStats stats() const;
   void ResetStats();

@@ -43,11 +43,13 @@ uint64_t RemoteAllocator::AllocFromSegment(int blocks) {
   if (segment_cursor_ + want > segment_end_) {
     // Ask the controller for a fresh segment.
     uint64_t seg_bytes = pool_->config().segment_bytes;
-    std::string request(8, '\0');
-    std::memcpy(request.data(), &seg_bytes, 8);
-    const std::string response = verbs_->Rpc(kRpcAllocSegment, request);
+    rpc_request_.resize(8);
+    std::memcpy(rpc_request_.data(), &seg_bytes, 8);
+    verbs_->Rpc(kRpcAllocSegment, rpc_request_, &rpc_response_);
     uint64_t granted = 0;
-    std::memcpy(&granted, response.data(), 8);
+    if (rpc_response_.size() == 8) {
+      std::memcpy(&granted, rpc_response_.data(), 8);
+    }
     if (granted == 0) {
       return 0;  // pool exhausted
     }

@@ -15,6 +15,7 @@
 #define DITTO_DM_ALLOCATOR_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "dm/pool.h"
@@ -61,6 +62,9 @@ class RemoteAllocator {
   uint64_t segment_end_ = 0;
   std::vector<std::vector<uint64_t>> local_free_;
   size_t local_bytes_ = 0;
+  // Segment-RPC scratch reused across calls (controller path).
+  std::string rpc_request_;
+  std::string rpc_response_;
 };
 
 }  // namespace ditto::dm

@@ -23,29 +23,30 @@ MemoryPool::MemoryPool(const PoolConfig& config)
   node_.arena().WriteU64(kCapacityAddr, capacity);
   node_.arena().WriteU64(kHistSizeAddr, capacity);  // default: history size == cache size
 
-  node_.RegisterRpc(kRpcAllocSegment,
-                    [this](std::string_view request) { return HandleAllocSegment(request); });
-  node_.RegisterRpc(kRpcResize,
-                    [this](std::string_view request) { return HandleResize(request); });
+  node_.RegisterRpc(kRpcAllocSegment, [this](std::string_view request, std::string* response) {
+    HandleAllocSegment(request, response);
+  });
+  node_.RegisterRpc(kRpcResize, [this](std::string_view request, std::string* response) {
+    HandleResize(request, response);
+  });
 }
 
-std::string MemoryPool::HandleResize(std::string_view request) {
+void MemoryPool::HandleResize(std::string_view request, std::string* response) {
   if (request.size() != 8) {
-    return std::string();  // malformed: reject, leave the capacity untouched
+    return;  // malformed: reject with an empty response, capacity untouched
   }
   uint64_t capacity = 0;
   std::memcpy(&capacity, request.data(), 8);
   if (capacity == 0) {
-    return std::string();  // a zero capacity would wedge every admission
+    return;  // a zero capacity would wedge every admission
   }
   const uint64_t previous = node_.arena().ReadU64(kCapacityAddr);
   node_.arena().WriteU64(kCapacityAddr, capacity);
-  std::string response(8, '\0');
-  std::memcpy(response.data(), &previous, 8);
-  return response;
+  response->resize(8);
+  std::memcpy(response->data(), &previous, 8);
 }
 
-std::string MemoryPool::HandleAllocSegment(std::string_view request) {
+void MemoryPool::HandleAllocSegment(std::string_view request, std::string* response) {
   uint64_t want = config_.segment_bytes;
   if (request.size() == 8) {
     std::memcpy(&want, request.data(), 8);
@@ -59,9 +60,8 @@ std::string MemoryPool::HandleAllocSegment(std::string_view request) {
       segments_allocated_.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  std::string response(8, '\0');
-  std::memcpy(response.data(), &granted, 8);
-  return response;
+  response->resize(8);
+  std::memcpy(response->data(), &granted, 8);
 }
 
 void MemoryPool::SetCapacityObjects(uint64_t capacity) {

@@ -113,8 +113,8 @@ class MemoryPool {
   LogicalClock& clock() { return clock_; }
 
  private:
-  std::string HandleAllocSegment(std::string_view request);
-  std::string HandleResize(std::string_view request);
+  void HandleAllocSegment(std::string_view request, std::string* response);
+  void HandleResize(std::string_view request, std::string* response);
 
   PoolConfig config_;
   rdma::RemoteNode node_;

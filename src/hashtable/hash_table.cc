@@ -16,11 +16,29 @@ SlotView HashTable::DecodeSlot(const uint8_t* raw) {
 }
 
 bool HashTable::ReadBucket(uint64_t bucket, std::vector<SlotView>* out) {
-  if (bucket >= num_buckets_) {
-    out->clear();
+  const uint64_t wr = PostReadBucket(bucket, out);
+  if (wr == 0) {
     return false;
   }
-  return ReadSlots(bucket * slots_per_bucket_, slots_per_bucket_, out);
+  verbs_->WaitWr(wr);
+  return true;
+}
+
+uint64_t HashTable::PostReadBucket(uint64_t bucket, std::vector<SlotView>* out) {
+  if (bucket >= num_buckets_) {
+    out->clear();
+    return 0;
+  }
+  const int count = slots_per_bucket_;
+  const size_t bytes = static_cast<size_t>(count) * kSlotBytes;
+  scratch_.resize(bytes);
+  const uint64_t wr =
+      verbs_->PostRead(SlotAddr(bucket * slots_per_bucket_), scratch_.data(), bytes);
+  out->resize(count);
+  for (int i = 0; i < count; ++i) {
+    (*out)[i] = DecodeSlot(scratch_.data() + static_cast<size_t>(i) * kSlotBytes);
+  }
+  return wr;
 }
 
 bool HashTable::ReadSlots(uint64_t start_slot, int count, std::vector<SlotView>* out,

@@ -40,6 +40,13 @@ class HashTable {
   // neighbouring bucket.
   bool ReadBucket(uint64_t bucket, std::vector<SlotView>* out);
 
+  // Signalled (completion-queue) variant of ReadBucket: decodes the bucket
+  // into *out at post time and returns the bucket READ's work-request id —
+  // the caller consumes the completion (Verbs::WaitWr) when its state machine
+  // is ready to look at the slots. Returns 0 (no verb issued, *out cleared)
+  // for an out-of-range bucket.
+  uint64_t PostReadBucket(uint64_t bucket, std::vector<SlotView>* out);
+
   // Fetches `count` consecutive slots starting at a global slot index with a
   // single READ (the sampling primitive). The start is clamped down so the
   // range never wraps past the table end; the clamped start is reported

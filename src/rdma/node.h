@@ -21,11 +21,13 @@
 
 namespace ditto::rdma {
 
-// A controller RPC handler: consumes a request payload, returns the response.
+// A controller RPC handler: consumes a request payload and renders the
+// response into *response (cleared by the dispatcher; the caller's buffer
+// capacity is reused across calls so steady-state RPCs allocate nothing).
 // Handlers run inline on the calling thread but are serialized by the
 // dispatcher mutex (the controller is a small CPU; its parallelism is
 // expressed in the CpuModel, not in handler concurrency).
-using RpcHandler = std::function<std::string(std::string_view request)>;
+using RpcHandler = std::function<void(std::string_view request, std::string* response)>;
 
 class RemoteNode {
  public:
@@ -43,10 +45,20 @@ class RemoteNode {
     handlers_[id] = std::move(handler);
   }
 
-  // Dispatches an RPC. Returns the handler's response. Aborts if unknown.
-  std::string DispatchRpc(uint32_t id, std::string_view request) {
+  // Dispatches an RPC into the caller's response buffer. Aborts if unknown.
+  // A request view aliasing *response (one scratch buffer used for both) is
+  // detached into a copy first — clear()/handler writes below would
+  // otherwise invalidate the request mid-dispatch.
+  void DispatchRpc(uint32_t id, std::string_view request, std::string* response) {
     std::lock_guard<std::mutex> lock(rpc_mu_);
-    return handlers_.at(id)(request);
+    std::string detached;
+    if (request.data() >= response->data() &&
+        request.data() < response->data() + response->size()) {
+      detached.assign(request);
+      request = detached;
+    }
+    response->clear();
+    handlers_.at(id)(request, response);
   }
 
  private:

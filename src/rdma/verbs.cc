@@ -1,30 +1,106 @@
 #include "rdma/verbs.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace ditto::rdma {
 
-void Verbs::ChargeSync(double rtt_us, double msg_cost, size_t bytes) {
+void Verbs::AdvanceBaseNs(uint64_t ns) {
+  if (in_op_) {
+    op_cursor_ += ns;
+  } else {
+    ctx_->clock().AdvanceNs(ns);
+  }
+}
+
+void Verbs::AdvanceBaseToNs(uint64_t ns) {
+  if (in_op_) {
+    op_cursor_ = std::max(op_cursor_, ns);
+  } else {
+    ctx_->clock().AdvanceToNs(ns);
+  }
+}
+
+uint64_t Verbs::PostSignalled(double rtt_us, double msg_cost, size_t bytes) {
   const CostModel& cost = node_->cost();
   node_->nic().ChargeBytes(bytes);
   node_->nic().CountDoorbell();
-  const uint64_t queue_ns = node_->nic().ChargeMessage(ctx_->now_ns(), msg_cost);
-  if (!cost.enabled) {
-    return;
+  const uint64_t now = base_now_ns();
+  const uint64_t queue_ns = node_->nic().ChargeMessage(now, msg_cost);
+  uint64_t complete_ns = now;
+  if (cost.enabled) {
+    const double wire_us = static_cast<double>(bytes) / cost.bytes_per_us;
+    complete_ns += queue_ns + static_cast<uint64_t>((rtt_us + wire_us) * 1000.0);
   }
-  const double wire_us = static_cast<double>(bytes) / cost.bytes_per_us;
-  ctx_->clock().AdvanceNs(queue_ns + static_cast<uint64_t>((rtt_us + wire_us) * 1000.0));
+  const uint64_t wr = next_wr_++;
+  cq_.push_back(Completion{wr, complete_ns});
+  return wr;
+}
+
+uint64_t Verbs::WaitWr(uint64_t wr_id) {
+  for (size_t i = 0; i < cq_.size(); ++i) {
+    if (cq_[i].wr_id == wr_id) {
+      const uint64_t complete_ns = cq_[i].complete_ns;
+      cq_.erase(cq_.begin() + static_cast<ptrdiff_t>(i));
+      AdvanceBaseToNs(complete_ns);
+      return complete_ns;
+    }
+  }
+  // Waiting on an unknown (or already-consumed) wr_id is a caller bug that
+  // would silently corrupt time accounting; fail loudly in every build.
+  std::fprintf(stderr, "Verbs::WaitWr: wr_id %llu is not pending\n",
+               static_cast<unsigned long long>(wr_id));
+  std::abort();
+}
+
+bool Verbs::PollCq(Completion* out) {
+  if (cq_.empty()) {
+    return false;
+  }
+  size_t best = 0;
+  for (size_t i = 1; i < cq_.size(); ++i) {
+    if (cq_[i].complete_ns < cq_[best].complete_ns ||
+        (cq_[i].complete_ns == cq_[best].complete_ns && cq_[i].wr_id < cq_[best].wr_id)) {
+      best = i;
+    }
+  }
+  *out = cq_[best];
+  cq_.erase(cq_.begin() + static_cast<ptrdiff_t>(best));
+  AdvanceBaseToNs(out->complete_ns);
+  return true;
+}
+
+void Verbs::BeginOp(uint64_t start_ns) {
+  if (in_op_) {
+    // Nesting would overwrite the outer op's cursor and corrupt time
+    // accounting; like WaitWr on a stale wr_id, fail loudly in every build.
+    std::fprintf(stderr, "Verbs::BeginOp: pipelined ops must not nest\n");
+    std::abort();
+  }
+  in_op_ = true;
+  op_cursor_ = std::max(start_ns, ctx_->now_ns());
+}
+
+uint64_t Verbs::EndOp() {
+  if (!in_op_) {
+    std::fprintf(stderr, "Verbs::EndOp: no pipelined op is active\n");
+    std::abort();
+  }
+  in_op_ = false;
+  return op_cursor_;
 }
 
 void Verbs::ChargeAsync(double msg_cost, size_t bytes) {
   const CostModel& cost = node_->cost();
   node_->nic().ChargeBytes(bytes);
   node_->nic().CountDoorbell();
-  node_->nic().ChargeMessage(ctx_->now_ns(), msg_cost);
+  node_->nic().ChargeMessage(base_now_ns(), msg_cost);
   if (!cost.enabled) {
     return;
   }
-  ctx_->clock().AdvanceUs(cost.async_post_us);
+  AdvanceBaseNs(static_cast<uint64_t>(cost.async_post_us * 1000.0));
 }
 
 void Verbs::SetBatchOps(size_t max_pending) {
@@ -63,25 +139,34 @@ void Verbs::FlushBatch() {
   for (const PendingOp& op : pending_) {
     const double msg_cost = op.kind == 0 ? 1.0 : cost.atomic_msg_cost;
     node_->nic().ChargeBytes(op.bytes);
-    node_->nic().ChargeMessage(ctx_->now_ns(), msg_cost);
+    node_->nic().ChargeMessage(base_now_ns(), msg_cost);
   }
   if (cost.enabled) {
-    ctx_->clock().AdvanceUs(cost.async_post_us +
-                            cost.batched_wqe_us * static_cast<double>(pending_.size() - 1));
+    AdvanceBaseNs(static_cast<uint64_t>(
+        (cost.async_post_us + cost.batched_wqe_us * static_cast<double>(pending_.size() - 1)) *
+        1000.0));
   }
   pending_.clear();
 }
 
 void Verbs::Read(uint64_t addr, void* dst, size_t len) {
-  node_->arena().Read(addr, dst, len);
-  ctx_->reads++;
-  ChargeSync(node_->cost().read_rtt_us, 1.0, len);
+  WaitWr(PostRead(addr, dst, len));
 }
 
 void Verbs::Write(uint64_t addr, const void* src, size_t len) {
+  WaitWr(PostWrite(addr, src, len));
+}
+
+uint64_t Verbs::PostRead(uint64_t addr, void* dst, size_t len) {
+  node_->arena().Read(addr, dst, len);
+  ctx_->reads++;
+  return PostSignalled(node_->cost().read_rtt_us, 1.0, len);
+}
+
+uint64_t Verbs::PostWrite(uint64_t addr, const void* src, size_t len) {
   node_->arena().Write(addr, src, len);
   ctx_->writes++;
-  ChargeSync(node_->cost().write_rtt_us, 1.0, len);
+  return PostSignalled(node_->cost().write_rtt_us, 1.0, len);
 }
 
 void Verbs::WriteAsync(uint64_t addr, const void* src, size_t len) {
@@ -95,17 +180,34 @@ void Verbs::WriteAsync(uint64_t addr, const void* src, size_t len) {
 }
 
 uint64_t Verbs::CompareSwap(uint64_t addr, uint64_t expected, uint64_t desired) {
-  const uint64_t observed = node_->arena().CompareSwap(addr, expected, desired);
-  ctx_->atomics++;
-  ChargeSync(node_->cost().atomic_rtt_us, node_->cost().atomic_msg_cost, 8);
+  uint64_t observed = 0;
+  WaitWr(PostCas(addr, expected, desired, &observed));
   return observed;
 }
 
 uint64_t Verbs::FetchAdd(uint64_t addr, uint64_t delta) {
-  const uint64_t prior = node_->arena().FetchAdd(addr, delta);
-  ctx_->atomics++;
-  ChargeSync(node_->cost().atomic_rtt_us, node_->cost().atomic_msg_cost, 8);
+  uint64_t prior = 0;
+  WaitWr(PostFaa(addr, delta, &prior));
   return prior;
+}
+
+uint64_t Verbs::PostCas(uint64_t addr, uint64_t expected, uint64_t desired,
+                        uint64_t* observed) {
+  const uint64_t value = node_->arena().CompareSwap(addr, expected, desired);
+  if (observed != nullptr) {
+    *observed = value;
+  }
+  ctx_->atomics++;
+  return PostSignalled(node_->cost().atomic_rtt_us, node_->cost().atomic_msg_cost, 8);
+}
+
+uint64_t Verbs::PostFaa(uint64_t addr, uint64_t delta, uint64_t* prior) {
+  const uint64_t value = node_->arena().FetchAdd(addr, delta);
+  if (prior != nullptr) {
+    *prior = value;
+  }
+  ctx_->atomics++;
+  return PostSignalled(node_->cost().atomic_rtt_us, node_->cost().atomic_msg_cost, 8);
 }
 
 void Verbs::FetchAddAsync(uint64_t addr, uint64_t delta) {
@@ -118,7 +220,8 @@ void Verbs::FetchAddAsync(uint64_t addr, uint64_t delta) {
   ChargeAsync(node_->cost().atomic_msg_cost, 8);
 }
 
-std::string Verbs::Rpc(uint32_t handler_id, std::string_view request, double service_us) {
+void Verbs::Rpc(uint32_t handler_id, std::string_view request, std::string* response,
+                double service_us) {
   const CostModel& cost = node_->cost();
   if (service_us <= 0.0) {
     service_us = cost.rpc_service_us;
@@ -127,17 +230,22 @@ std::string Verbs::Rpc(uint32_t handler_id, std::string_view request, double ser
   // Request and response messages; one doorbell for the send WQE.
   node_->nic().CountDoorbell();
   node_->nic().ChargeBytes(request.size());
-  const uint64_t nic_queue_ns = node_->nic().ChargeMessage(ctx_->now_ns(), 1.0);
-  node_->nic().ChargeMessage(ctx_->now_ns(), 1.0);
-  const uint64_t cpu_queue_ns = node_->cpu().ChargeRpc(ctx_->now_ns(), service_us);
-  std::string response = node_->DispatchRpc(handler_id, request);
+  const uint64_t now = base_now_ns();
+  const uint64_t nic_queue_ns = node_->nic().ChargeMessage(now, 1.0);
+  node_->nic().ChargeMessage(now, 1.0);
+  const uint64_t cpu_queue_ns = node_->cpu().ChargeRpc(now, service_us);
+  node_->DispatchRpc(handler_id, request, response);
   if (cost.enabled) {
     const double wire_us =
-        static_cast<double>(request.size() + response.size()) / cost.bytes_per_us;
-    ctx_->clock().AdvanceNs(nic_queue_ns + cpu_queue_ns +
-                            static_cast<uint64_t>(
-                                (cost.read_rtt_us + service_us + wire_us) * 1000.0));
+        static_cast<double>(request.size() + response->size()) / cost.bytes_per_us;
+    AdvanceBaseNs(nic_queue_ns + cpu_queue_ns +
+                  static_cast<uint64_t>((cost.read_rtt_us + service_us + wire_us) * 1000.0));
   }
+}
+
+std::string Verbs::Rpc(uint32_t handler_id, std::string_view request, double service_us) {
+  std::string response;
+  Rpc(handler_id, request, &response, service_us);
   return response;
 }
 

@@ -6,6 +6,17 @@
 // charges virtual time: NIC queueing delay + round-trip latency + payload
 // serialization. Async verbs charge only the posting overhead to the client
 // but still consume NIC capacity.
+//
+// Signalled verbs are modelled with a completion queue: PostRead / PostWrite
+// / PostCas / PostFaa apply the memory effect immediately (the simulator's
+// memory operations are instantaneous and execute in program order), charge
+// NIC occupancy at post time, and enqueue a completion whose timestamp is
+//   post time + NIC queueing delay + round-trip latency + wire time.
+// The blocking verbs (Read/Write/CompareSwap/FetchAdd) are exactly
+// post + wait wrappers, so their cost model is unchanged; pipelined clients
+// instead keep several posts in flight and consume completions with
+// PollCq/WaitWr, which is what lets one client overlap K independent
+// operations per QP (the paper's latency-hiding technique).
 #ifndef DITTO_RDMA_VERBS_H_
 #define DITTO_RDMA_VERBS_H_
 
@@ -17,6 +28,13 @@
 #include "rdma/node.h"
 
 namespace ditto::rdma {
+
+// One completion-queue entry: the work request id returned by a Post* verb
+// and the virtual time at which the verb completes at the client.
+struct Completion {
+  uint64_t wr_id = 0;
+  uint64_t complete_ns = 0;
+};
 
 class Verbs {
  public:
@@ -37,13 +55,60 @@ class Verbs {
   // Posted FAA whose result the client does not wait for.
   void FetchAddAsync(uint64_t addr, uint64_t delta);
 
+  // --- Signalled asynchronous verbs (completion-queue model) ---------------
+  // Each Post* performs the memory operation immediately, charges the NIC,
+  // and returns a work-request id whose completion lands on this QP's CQ at
+  //   now + NIC queueing + RTT + wire time.
+  // The result of an atomic (observed/prior value) is written through the
+  // out-pointer at post time; semantically the caller must not read it until
+  // the completion is consumed. Posting itself does not advance the clock —
+  // the blocking wrappers above are literally Post* + WaitWr, so one signalled
+  // verb costs the same whether issued sync or async-then-waited.
+  uint64_t PostRead(uint64_t addr, void* dst, size_t len);
+  uint64_t PostWrite(uint64_t addr, const void* src, size_t len);
+  uint64_t PostCas(uint64_t addr, uint64_t expected, uint64_t desired, uint64_t* observed);
+  uint64_t PostFaa(uint64_t addr, uint64_t delta, uint64_t* prior);
+
+  // Blocks (advances this QP's time base) until wr_id completes, removes it
+  // from the CQ, and returns its completion timestamp. wr_id must be pending.
+  uint64_t WaitWr(uint64_t wr_id);
+
+  // Pops the earliest-completing pending entry (ties broken by post order)
+  // and advances the time base to its completion. Returns false on an empty
+  // CQ. This is the generic consumption order: completions are delivered in
+  // completion-time order, which for same-cost verbs equals post order.
+  bool PollCq(Completion* out);
+
+  // Pending (posted, not yet consumed) signalled verbs on this QP.
+  size_t cq_depth() const { return cq_.size(); }
+
+  // --- Pipelined-op timeline ----------------------------------------------
+  // A pipelined client executes each operation on a detached timeline: after
+  // BeginOp(start_ns), every time charge (verb waits, async posting overhead,
+  // RPC service, Sleep) advances the op cursor instead of the client's real
+  // clock, and NIC occupancy is charged at cursor time. EndOp() returns the
+  // op's completion timestamp and re-attaches the QP to the client clock.
+  // The caller advances the real clock only when it RETIRES the op
+  // (VirtualClock::AdvanceToNs), which is what lets K ops overlap in virtual
+  // time while the cache logic itself still executes in issue order — the
+  // property that keeps hit rates bit-identical across pipeline depths.
+  void BeginOp(uint64_t start_ns);
+  uint64_t EndOp();
+  bool in_op() const { return in_op_; }
+  uint64_t op_cursor_ns() const { return op_cursor_; }
+
   // Two-sided RPC to the controller: two network messages + controller CPU.
   // service_us scales with handler weight; <= 0 uses the model default.
+  // The caller-buffer overload is the hot-path form: the handler renders its
+  // response directly into *response (whose capacity is reused across calls),
+  // so steady-state RPCs allocate nothing on the client.
+  void Rpc(uint32_t handler_id, std::string_view request, std::string* response,
+           double service_us = -1.0);
   std::string Rpc(uint32_t handler_id, std::string_view request, double service_us = -1.0);
 
   // Charges a client-local think/backoff time (e.g. 5us lock backoff or the
   // 500us miss penalty) without touching the network.
-  void Sleep(double us) { ctx_->clock().AdvanceUs(us); }
+  void Sleep(double us) { AdvanceBaseNs(static_cast<uint64_t>(us * 1000.0)); }
 
   // Doorbell batching of asynchronous verbs. When enabled (max_pending > 0),
   // async WRITE/FAA posts apply their memory effect immediately (and still
@@ -65,7 +130,16 @@ class Verbs {
     uint32_t bytes;
   };
 
-  void ChargeSync(double rtt_us, double msg_cost, size_t bytes);
+  // The QP's current time base: the op cursor while a pipelined op is being
+  // executed, the client's virtual clock otherwise.
+  uint64_t base_now_ns() const { return in_op_ ? op_cursor_ : ctx_->now_ns(); }
+  void AdvanceBaseNs(uint64_t ns);
+  void AdvanceBaseToNs(uint64_t ns);
+
+  // Shared Post* body: charges the NIC at base-now and enqueues the
+  // completion entry. Returns the new wr id.
+  uint64_t PostSignalled(double rtt_us, double msg_cost, size_t bytes);
+
   void ChargeAsync(double msg_cost, size_t bytes);
   void EnqueueBatched(uint8_t kind, uint64_t addr, uint32_t bytes);
 
@@ -74,6 +148,11 @@ class Verbs {
   size_t batch_max_ = 0;    // 0 = batching disabled
   uint64_t batch_posts_ = 0;  // raw WQEs in the current chain (pre-merge)
   std::vector<PendingOp> pending_;
+
+  uint64_t next_wr_ = 1;        // 0 is reserved for "no wr"
+  std::vector<Completion> cq_;  // pending completions (unsorted; CQs are short)
+  bool in_op_ = false;
+  uint64_t op_cursor_ = 0;
 };
 
 }  // namespace ditto::rdma

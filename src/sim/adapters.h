@@ -47,6 +47,19 @@ class DittoAdapterBase : public CacheClient {
     }
   }
 
+  // Pipelined issue: run the op's state machine on a detached timeline (see
+  // rdma::Verbs::BeginOp). The op's verbs, allocator traffic, and metadata
+  // updates all execute now — only the waits land on the op cursor — so the
+  // cache's behaviour is bit-identical to blocking execution at any depth.
+  uint64_t ExecutePipelined(const CacheOp& op, CacheResult* result,
+                            uint64_t start_ns) override {
+    client_.BeginPipelinedOp(start_ns);
+    ExecuteSingle(op, result);
+    const uint64_t complete_ns = client_.EndPipelinedOp();
+    result->latency_us = static_cast<double>(complete_ns - start_ns) / 1000.0;
+    return complete_ns;
+  }
+
   rdma::ClientContext& ctx() override { return *ctx_; }
 
   ClientCounters counters() const override { return CountersFromStats(client_.stats()); }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <deque>
 #include <thread>
 
 #include "common/hash.h"
@@ -50,17 +51,49 @@ ResolvedSchedule ResolveSchedule(const RunOptions& options, size_t begin, size_t
   return schedule;
 }
 
+// The miss policy, shared by the blocking and pipelined paths: the penalty
+// (the backing distributed-store fetch) and the set_on_miss re-insert op.
+uint64_t MissPenaltyNs(const RunOptions& options) {
+  // Guard the float-to-unsigned cast: a non-positive penalty means none.
+  return options.miss_penalty_us > 0.0
+             ? static_cast<uint64_t>(options.miss_penalty_us * 1000.0)
+             : 0;
+}
+
+CacheOp MissSetOp(std::string_view key, uint64_t raw_key, const RunOptions& options,
+                  const std::string& value) {
+  return CacheOp::Set(key, std::string_view(value.data(), options.ValueBytesFor(raw_key)));
+}
+
 // On a Get/MultiGet miss, applies the miss-penalty/set-on-miss policy.
 void HandleMiss(CacheClient* client, std::string_view key, uint64_t raw_key,
                 const RunOptions& options, const std::string& value) {
   if (!options.set_on_miss) {
     return;
   }
-  if (options.miss_penalty_us > 0.0) {
-    // Fetch from the backing distributed store.
-    client->ctx().clock().AdvanceUs(options.miss_penalty_us);
+  client->ctx().clock().AdvanceNs(MissPenaltyNs(options));
+  const CacheOp set_op = MissSetOp(key, raw_key, options, value);
+  CacheResult result;
+  client->ExecuteBatch({&set_op, 1}, &result);
+}
+
+// Maps one trace request onto a typed CacheOp (the key view aliases the
+// caller's KeyBuf storage).
+CacheOp BuildCacheOp(const workload::Request& req, workload::Op op, const RunOptions& options,
+                     std::string_view key, const std::string& value) {
+  switch (op) {
+    case workload::Op::kGet:
+    case workload::Op::kMultiGet:  // an unfused multi-get of one key
+      return CacheOp::Get(key, /*want_value=*/false);
+    case workload::Op::kUpdate:
+    case workload::Op::kInsert:
+      return CacheOp::Set(key, std::string_view(value.data(), options.ValueBytesFor(req.key)));
+    case workload::Op::kDelete:
+      return CacheOp::Delete(key);
+    case workload::Op::kExpire:
+      return CacheOp::Expire(key, options.expire_ttl_ticks);
   }
-  client->Set(key, std::string_view(value.data(), options.ValueBytesFor(raw_key)));
+  return CacheOp::Get(key, /*want_value=*/false);
 }
 
 // Executes one non-fused request on a client as a typed one-op batch,
@@ -74,24 +107,7 @@ void ExecuteRequest(CacheClient* client, const workload::Request& req, workload:
   workload::KeyBuf key_buf;
   const std::string_view key = workload::FormatKey(req.key, &key_buf);
   const uint64_t begin_ns = ctx.clock().busy_ns();
-  CacheOp cache_op;
-  switch (op) {
-    case workload::Op::kGet:
-    case workload::Op::kMultiGet:  // an unfused multi-get of one key
-      cache_op = CacheOp::Get(key, /*want_value=*/false);
-      break;
-    case workload::Op::kUpdate:
-    case workload::Op::kInsert:
-      cache_op = CacheOp::Set(key, std::string_view(value.data(),
-                                                    options.ValueBytesFor(req.key)));
-      break;
-    case workload::Op::kDelete:
-      cache_op = CacheOp::Delete(key);
-      break;
-    case workload::Op::kExpire:
-      cache_op = CacheOp::Expire(key, options.expire_ttl_ticks);
-      break;
-  }
+  const CacheOp cache_op = BuildCacheOp(req, op, options, key, value);
   CacheResult result;
   client->ExecuteBatch({&cache_op, 1}, &result);
   if (cache_op.kind == OpKind::kGet && !result.hit()) {
@@ -130,6 +146,8 @@ class OpDispatcher {
         owner_(owner),
         num_owners_(num_owners),
         split_capacity_(split_capacity),
+        pipeline_depth_(std::max<size_t>(options.pipeline_depth, 1)),
+        pipelined_(options.pipeline_depth > 1 || options.pipeline_force),
         phases_(schedule != nullptr ? schedule->num_phases() : 1) {}
 
   void Dispatch(uint32_t index) {
@@ -143,16 +161,27 @@ class OpDispatcher {
       }
       return;
     }
-    Flush();  // a non-fusable op closes the current run
+    Flush(/*retire_pipeline=*/false);  // a non-fusable op closes the current run
+    if (pipelined_) {
+      ExecuteRequestPipelined(req, op);
+      return;
+    }
     ExecuteRequest(client_, req, op, options_, value_, &phases_[phase_]);
   }
 
-  void Flush() {
+  // Closes the current fused multi-get run and (by default) drains the verb
+  // pipeline. A fused run serializes with the pipeline either way: in-flight
+  // ops retire before the run issues, so execution order stays issue order.
+  void Flush(bool retire_pipeline = true) {
     if (!pending_.empty()) {
+      RetireAll();
       // Every pending index was enqueued in the current phase (AdvancePhase
       // flushes before the capacity changes), so the run is attributed whole.
       ExecuteMultiGetRun(&phases_[phase_]);
       pending_.clear();
+    }
+    if (retire_pipeline) {
+      RetireAll();
     }
   }
 
@@ -160,6 +189,53 @@ class OpDispatcher {
   const std::vector<PhaseResult>& phases() const { return phases_; }
 
  private:
+  // Pipelined issue of one request: the op executes now (memory effects in
+  // issue order, so cache behaviour matches the blocking path bit-for-bit),
+  // but its verb waits accrue on a detached timeline starting at the current
+  // clock; the completion timestamp joins the in-flight window and the clock
+  // only advances when the window is full and the oldest op retires. A Get
+  // miss chains the miss penalty and the set_on_miss re-insert onto the same
+  // timeline, exactly as the blocking path charges them inline.
+  void ExecuteRequestPipelined(const workload::Request& req, workload::Op op) {
+    while (inflight_.size() >= pipeline_depth_) {
+      RetireOldest();
+    }
+    rdma::ClientContext& ctx = client_->ctx();
+    workload::KeyBuf key_buf;
+    const std::string_view key = workload::FormatKey(req.key, &key_buf);
+    const uint64_t start_ns = ctx.clock().busy_ns();
+    const CacheOp cache_op = BuildCacheOp(req, op, options_, key, value_);
+    CacheResult result;
+    uint64_t complete_ns = client_->ExecutePipelined(cache_op, &result, start_ns);
+    if (cache_op.kind == OpKind::kGet && !result.hit() && options_.set_on_miss) {
+      const CacheOp set_op = MissSetOp(key, req.key, options_, value_);
+      CacheResult set_result;
+      complete_ns = client_->ExecutePipelined(set_op, &set_result,
+                                              complete_ns + MissPenaltyNs(options_));
+    }
+    PhaseResult& phase = phases_[phase_];
+    phase.ops++;
+    if (cache_op.kind == OpKind::kGet) {
+      phase.gets++;
+      (result.hit() ? phase.hits : phase.misses)++;
+    }
+    ctx.op_hist().RecordNs(complete_ns - start_ns);
+    inflight_.push_back(complete_ns);
+  }
+
+  // Retires the oldest in-flight op: the client blocks until its completion
+  // (no-op when later work already moved the clock past it).
+  void RetireOldest() {
+    client_->ctx().clock().AdvanceToNs(inflight_.front());
+    inflight_.pop_front();
+  }
+
+  void RetireAll() {
+    while (!inflight_.empty()) {
+      RetireOldest();
+    }
+  }
+
   // Executes the pending fused run of kMultiGet requests as one pipelined
   // batch, then applies the miss policy per missed key. Latency is recorded
   // per key (the run's mean, as reported by the client). Allocation-free at
@@ -218,9 +294,13 @@ class OpDispatcher {
   size_t owner_;
   size_t num_owners_;
   bool split_capacity_;
+  size_t pipeline_depth_;
+  bool pipelined_;
   size_t phase_ = 0;
   std::vector<PhaseResult> phases_;
   std::vector<uint32_t> pending_;
+  // Completion timestamps of in-flight pipelined ops, in issue order.
+  std::deque<uint64_t> inflight_;
   // Fused-run scratch, reused across runs (dispatchers are single-threaded).
   std::vector<workload::KeyBuf> mg_keys_;
   std::vector<CacheOp> mg_ops_;

@@ -53,6 +53,21 @@ struct RunOptions {
   // chain of this many posts (duplicate addresses coalesce on the wire).
   size_t batch_ops = 0;
 
+  // Completion-queue verb pipelining: each client keeps up to pipeline_depth
+  // independent ops in flight, retiring them in issue order. Ops still
+  // *execute* (and mutate cache state) strictly in issue order — pipelining
+  // overlaps only their virtual-time verb latencies via the clients' CQ model
+  // (CacheClient::ExecutePipelined) — so hit rates, verb counts, and eviction
+  // decisions are bit-identical for every depth; only throughput/latency
+  // change. Depth 1 (the default) replays through the classic blocking path;
+  // pipeline_force routes depth-1 replay through the pipelined issue loop
+  // instead, which the equivalence tests use to pin that both paths agree
+  // bit-for-bit. Clients without a CQ model degrade to depth-1 behaviour.
+  // Fused multi-get runs serialize with the pipeline (the pipeline drains
+  // before a fused run issues).
+  size_t pipeline_depth = 1;
+  bool pipeline_force = false;
+
   // Typed-op replay knobs. op_mix deterministically rewrites a fraction of
   // the trace's Gets into kDelete / kExpire / kMultiGet (a pure function of
   // the request index, so every engine and thread count replays the same op

@@ -191,7 +191,6 @@ TEST(ContendedCasTest, OverlappedChurnNeverServesCorruptValues) {
 TEST(RunTraceContendedTest, FullOverlapReportsContentionAndConsistentCounters) {
   core::DittoConfig config;
   config.experts = {"lru", "lfu"};
-  ContendedDeployment d(ContendedPool(512, 512), config, 8);
 
   // 4x-over-subscribed hot keyspace: constant insert/evict/update races.
   const workload::Trace trace =
@@ -199,9 +198,20 @@ TEST(RunTraceContendedTest, FullOverlapReportsContentionAndConsistentCounters) {
 
   sim::RunOptions options;
   options.warmup_fraction = 0.2;
+  // Whether two threads actually collide on a slot CAS is up to the host
+  // scheduler; on a loaded machine (parallel ctest) all 8 threads can get
+  // serialized and race zero times. Retry with fresh deployments until a
+  // round shows contention — only a total absence across rounds is a bug.
+  sim::RunResult r;
   std::vector<sim::RunResult> per_client;
-  const sim::RunResult r = sim::RunTraceContended(d.raw, trace, {&d.pool.node()},
-                                                  options, &per_client);
+  for (int round = 0; round < 5; ++round) {
+    ContendedDeployment d(ContendedPool(512, 512), config, 8);
+    per_client.clear();
+    r = sim::RunTraceContended(d.raw, trace, {&d.pool.node()}, options, &per_client);
+    if (r.cas_failures + r.insert_retries > 0) {
+      break;
+    }
+  }
 
   const size_t measured = trace.size() - static_cast<size_t>(0.2 * trace.size());
   EXPECT_EQ(r.ops, measured);
@@ -210,7 +220,7 @@ TEST(RunTraceContendedTest, FullOverlapReportsContentionAndConsistentCounters) {
   EXPECT_GT(r.cas_failures + r.insert_retries, 0u)
       << "8 fully-overlapped clients on a 4x-over-subscribed keyspace must race";
 
-  ASSERT_EQ(per_client.size(), d.raw.size());
+  ASSERT_EQ(per_client.size(), 8u);
   uint64_t ops = 0, gets = 0, hits = 0, misses = 0, cas_failures = 0, insert_retries = 0;
   for (const sim::RunResult& pc : per_client) {
     ops += pc.ops;

@@ -1,0 +1,383 @@
+// Completion-queue verb pipeline tests.
+//
+// 1. CQ unit tests: Post*/WaitWr/PollCq semantics — completion ordering, the
+//    sync-verb == post+wait cost identity, and NIC-occupancy charging for
+//    overlapping posts.
+// 2. Replay equivalence: depth-1 pipelined replay is bit-identical (hit
+//    rate, verb counts, virtual time) to the sequential engine; hit rate is
+//    invariant across depths 1/4/16; throughput at depth 8 is at least 2x
+//    depth 1 at identical hit rate.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/shard_lru.h"
+#include "sim/adapters.h"
+#include "sim/runner.h"
+#include "workloads/ycsb.h"
+
+namespace ditto {
+namespace {
+
+using rdma::ClientContext;
+using rdma::Completion;
+using rdma::CostModel;
+using rdma::RemoteNode;
+using rdma::Verbs;
+
+// ---------------------------------------------------------------------------
+// Completion-queue unit tests
+// ---------------------------------------------------------------------------
+
+TEST(CompletionQueueTest, SyncReadEqualsPostPlusWait) {
+  const CostModel cost;
+  // Two identical nodes so the NIC fluid servers don't couple the QPs.
+  RemoteNode node_a(1 << 20, cost);
+  RemoteNode node_b(1 << 20, cost);
+  ClientContext ctx_a(0);
+  ClientContext ctx_b(1);
+  Verbs sync_verbs(&node_a, &ctx_a);
+  Verbs async_verbs(&node_b, &ctx_b);
+
+  uint64_t dst = 0;
+  sync_verbs.Read(64, &dst, 8);
+  const uint64_t wr = async_verbs.PostRead(64, &dst, 8);
+  EXPECT_EQ(ctx_b.clock().busy_ns(), 0u) << "posting must not advance the clock";
+  async_verbs.WaitWr(wr);
+  EXPECT_EQ(ctx_a.clock().busy_ns(), ctx_b.clock().busy_ns())
+      << "a blocking READ is exactly post + wait";
+  EXPECT_EQ(ctx_a.reads, ctx_b.reads);
+}
+
+TEST(CompletionQueueTest, AtomicResultsAvailableAtPostAndCostMatchesSync) {
+  const CostModel cost;
+  RemoteNode node_a(1 << 20, cost);
+  RemoteNode node_b(1 << 20, cost);
+  ClientContext ctx_a(0);
+  ClientContext ctx_b(1);
+  Verbs sync_verbs(&node_a, &ctx_a);
+  Verbs async_verbs(&node_b, &ctx_b);
+
+  // Same arena state on both nodes.
+  const uint64_t addr = 128;
+  sync_verbs.Write(addr, "\0\0\0\0\0\0\0\0", 8);
+  async_verbs.Write(addr, "\0\0\0\0\0\0\0\0", 8);
+
+  const uint64_t sync_prior = sync_verbs.FetchAdd(addr, 5);
+  uint64_t async_prior = 123;
+  const uint64_t wr_faa = async_verbs.PostFaa(addr, 5, &async_prior);
+  EXPECT_EQ(async_prior, sync_prior) << "FAA result is captured at post";
+  async_verbs.WaitWr(wr_faa);
+
+  const uint64_t sync_obs = sync_verbs.CompareSwap(addr, 5, 9);
+  uint64_t async_obs = 0;
+  const uint64_t wr_cas = async_verbs.PostCas(addr, 5, 9, &async_obs);
+  EXPECT_EQ(async_obs, sync_obs);
+  async_verbs.WaitWr(wr_cas);
+
+  // Serialized post+wait pairs cost exactly what the blocking atomics cost.
+  EXPECT_EQ(ctx_a.clock().busy_ns(), ctx_b.clock().busy_ns());
+  EXPECT_EQ(ctx_a.atomics, ctx_b.atomics);
+}
+
+TEST(CompletionQueueTest, OverlappingPostsChargeNicOccupancy) {
+  const CostModel cost;
+  RemoteNode node(1 << 20, cost);
+  ClientContext ctx(0);
+  Verbs verbs(&node, &ctx);
+
+  constexpr int kPosts = 32;
+  uint64_t dst = 0;
+  for (int i = 0; i < kPosts; ++i) {
+    verbs.PostRead(64, &dst, 8);
+  }
+  ASSERT_EQ(verbs.cq_depth(), static_cast<size_t>(kPosts));
+
+  // All posts were issued at client time 0, so the i-th one observes i
+  // message-slots of NIC backlog: completions are spaced by exactly the NIC
+  // per-message service time — a deep pipeline drains at the NIC rate, not
+  // infinitely fast.
+  const auto service_ns = static_cast<uint64_t>(cost.NicServiceNs(1.0));
+  Completion prev{};
+  ASSERT_TRUE(verbs.PollCq(&prev));
+  for (int i = 1; i < kPosts; ++i) {
+    Completion c{};
+    ASSERT_TRUE(verbs.PollCq(&c));
+    EXPECT_EQ(c.wr_id, prev.wr_id + 1) << "same-cost posts complete in post order";
+    EXPECT_EQ(c.complete_ns - prev.complete_ns, service_ns)
+        << "completion spacing == NIC per-message service time";
+    prev = c;
+  }
+  EXPECT_EQ(verbs.cq_depth(), 0u);
+  EXPECT_EQ(ctx.clock().busy_ns(), prev.complete_ns)
+      << "PollCq advances the clock to the delivered completion";
+}
+
+TEST(CompletionQueueTest, PollCqDeliversInCompletionTimeOrder) {
+  const CostModel cost;
+  RemoteNode node(1 << 20, cost);
+  ClientContext ctx(0);
+  Verbs verbs(&node, &ctx);
+
+  // An atomic posted first (2.5us RTT) completes AFTER a READ posted second
+  // (2.0us RTT): PollCq must deliver the READ first.
+  uint64_t prior = 0;
+  const uint64_t wr_atomic = verbs.PostFaa(256, 1, &prior);
+  uint64_t dst = 0;
+  const uint64_t wr_read = verbs.PostRead(64, &dst, 8);
+
+  Completion first{};
+  Completion second{};
+  ASSERT_TRUE(verbs.PollCq(&first));
+  ASSERT_TRUE(verbs.PollCq(&second));
+  EXPECT_EQ(first.wr_id, wr_read);
+  EXPECT_EQ(second.wr_id, wr_atomic);
+  EXPECT_LE(first.complete_ns, second.complete_ns);
+}
+
+TEST(CompletionQueueTest, WaitWrTargetsASpecificCompletion) {
+  const CostModel cost;
+  RemoteNode node(1 << 20, cost);
+  ClientContext ctx(0);
+  Verbs verbs(&node, &ctx);
+
+  uint64_t dst = 0;
+  const uint64_t wr1 = verbs.PostRead(64, &dst, 8);
+  const uint64_t wr2 = verbs.PostRead(64, &dst, 8);
+  const uint64_t done2 = verbs.WaitWr(wr2);
+  EXPECT_EQ(ctx.clock().busy_ns(), done2);
+  EXPECT_EQ(verbs.cq_depth(), 1u);
+  // wr1 completed earlier than wr2; consuming it now must not rewind or
+  // re-advance the clock.
+  const uint64_t done1 = verbs.WaitWr(wr1);
+  EXPECT_LE(done1, done2);
+  EXPECT_EQ(ctx.clock().busy_ns(), done2);
+  EXPECT_EQ(verbs.cq_depth(), 0u);
+}
+
+TEST(PipelinedOpTest, DetachedTimelineChargesCursorNotClock) {
+  const CostModel cost;
+  RemoteNode node(1 << 20, cost);
+  ClientContext ctx(0);
+  Verbs verbs(&node, &ctx);
+
+  verbs.BeginOp(/*start_ns=*/5000);
+  EXPECT_TRUE(verbs.in_op());
+  uint64_t dst = 0;
+  verbs.Read(64, &dst, 8);  // blocking verb: waits on the op cursor
+  EXPECT_EQ(ctx.clock().busy_ns(), 0u) << "waits inside an op land on the cursor";
+  const uint64_t complete_ns = verbs.EndOp();
+  EXPECT_FALSE(verbs.in_op());
+  // An uncontended READ completes one RTT (plus 8 B of wire time, sub-ns
+  // here) after the op's start cursor.
+  EXPECT_EQ(complete_ns, 5000u + static_cast<uint64_t>(cost.read_rtt_us * 1000.0));
+  EXPECT_EQ(ctx.clock().busy_ns(), 0u) << "EndOp never touches the real clock";
+}
+
+// ---------------------------------------------------------------------------
+// Replay equivalence
+// ---------------------------------------------------------------------------
+
+struct Deployment {
+  std::unique_ptr<dm::MemoryPool> pool;
+  std::unique_ptr<core::DittoServer> server;
+  std::vector<std::unique_ptr<ClientContext>> ctxs;
+  std::vector<std::unique_ptr<sim::DittoCacheClient>> clients;
+  std::vector<sim::CacheClient*> raw;
+
+  uint64_t TotalVerbs() const {
+    uint64_t total = 0;
+    for (const auto& ctx : ctxs) {
+      total += ctx->reads + ctx->writes + ctx->atomics + ctx->rpcs;
+    }
+    return total;
+  }
+};
+
+Deployment MakeDeployment(uint64_t capacity, int num_clients) {
+  Deployment d;
+  dm::PoolConfig pool_config;
+  pool_config.memory_bytes = 32 << 20;
+  pool_config.num_buckets = 4096;
+  pool_config.capacity_objects = capacity;  // cost model ON: timing matters here
+  core::DittoConfig config;
+  config.experts = {"lru", "lfu"};
+  d.pool = std::make_unique<dm::MemoryPool>(pool_config);
+  d.server = std::make_unique<core::DittoServer>(d.pool.get(), config);
+  for (int i = 0; i < num_clients; ++i) {
+    d.ctxs.push_back(std::make_unique<ClientContext>(i));
+    d.clients.push_back(
+        std::make_unique<sim::DittoCacheClient>(d.pool.get(), d.ctxs.back().get(), config));
+    d.raw.push_back(d.clients.back().get());
+  }
+  return d;
+}
+
+workload::Trace TestTrace(char workload, uint64_t requests) {
+  workload::YcsbConfig ycsb;
+  ycsb.workload = workload;
+  ycsb.num_keys = 3000;
+  const uint64_t seed = 7;
+  return workload::MakeYcsbTrace(ycsb, requests, seed);
+}
+
+class PipelineReplayTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kCapacity = 800;
+  static constexpr int kClients = 3;
+
+  struct Run {
+    sim::RunResult result;
+    uint64_t verbs = 0;
+  };
+
+  static Run Replay(const workload::Trace& trace, const sim::RunOptions& options) {
+    Deployment d = MakeDeployment(kCapacity, kClients);
+    Run run;
+    run.result = sim::RunTrace(d.raw, trace, &d.pool->node(), options);
+    run.verbs = d.TotalVerbs();
+    return run;
+  }
+};
+
+TEST_F(PipelineReplayTest, Depth1PipelinedBitIdenticalToSequentialEngine) {
+  const workload::Trace trace = TestTrace('A', 40000);
+  sim::RunOptions options;
+  options.warmup_fraction = 0.1;
+  options.miss_penalty_us = 50.0;
+
+  const Run sequential = Replay(trace, options);
+  options.pipeline_force = true;  // depth stays 1: the pipelined issue loop
+  const Run pipelined = Replay(trace, options);
+
+  EXPECT_EQ(pipelined.result.hits, sequential.result.hits);
+  EXPECT_EQ(pipelined.result.misses, sequential.result.misses);
+  EXPECT_EQ(pipelined.result.gets, sequential.result.gets);
+  EXPECT_EQ(pipelined.result.sets, sequential.result.sets);
+  EXPECT_EQ(pipelined.result.evictions, sequential.result.evictions);
+  EXPECT_EQ(pipelined.result.hit_rate, sequential.result.hit_rate);
+  EXPECT_EQ(pipelined.verbs, sequential.verbs) << "identical verb counts";
+  EXPECT_EQ(pipelined.result.nic_messages, sequential.result.nic_messages);
+  EXPECT_EQ(pipelined.result.nic_doorbells, sequential.result.nic_doorbells);
+  // Virtual time is bit-identical, not merely close.
+  EXPECT_EQ(pipelined.result.elapsed_s, sequential.result.elapsed_s);
+  EXPECT_EQ(pipelined.result.p50_us, sequential.result.p50_us);
+  EXPECT_EQ(pipelined.result.p99_us, sequential.result.p99_us);
+  EXPECT_EQ(pipelined.result.throughput_mops, sequential.result.throughput_mops);
+}
+
+TEST_F(PipelineReplayTest, HitRateInvariantAcrossDepths) {
+  const workload::Trace trace = TestTrace('A', 40000);
+  sim::RunOptions options;
+  options.warmup_fraction = 0.1;
+  options.miss_penalty_us = 50.0;
+
+  options.pipeline_depth = 1;
+  const Run d1 = Replay(trace, options);
+  options.pipeline_depth = 4;
+  const Run d4 = Replay(trace, options);
+  options.pipeline_depth = 16;
+  const Run d16 = Replay(trace, options);
+
+  // Pipelining overlaps virtual time only; cache state evolution — and with
+  // it every counter — is identical at any depth.
+  EXPECT_EQ(d4.result.hits, d1.result.hits);
+  EXPECT_EQ(d16.result.hits, d1.result.hits);
+  EXPECT_EQ(d4.result.misses, d1.result.misses);
+  EXPECT_EQ(d16.result.misses, d1.result.misses);
+  EXPECT_EQ(d4.result.evictions, d1.result.evictions);
+  EXPECT_EQ(d16.result.evictions, d1.result.evictions);
+  EXPECT_EQ(d4.result.hit_rate, d1.result.hit_rate);
+  EXPECT_EQ(d16.result.hit_rate, d1.result.hit_rate);
+  EXPECT_EQ(d4.verbs, d1.verbs);
+  EXPECT_EQ(d16.verbs, d1.verbs);
+  EXPECT_EQ(d4.result.nic_messages, d1.result.nic_messages);
+  EXPECT_EQ(d16.result.nic_messages, d1.result.nic_messages);
+}
+
+TEST_F(PipelineReplayTest, Depth8AtLeastTwiceDepth1Throughput) {
+  const workload::Trace trace = TestTrace('C', 40000);
+  sim::RunOptions options;
+  options.warmup_fraction = 0.1;
+
+  options.pipeline_depth = 1;
+  const Run d1 = Replay(trace, options);
+  options.pipeline_depth = 8;
+  const Run d8 = Replay(trace, options);
+
+  EXPECT_EQ(d8.result.hit_rate, d1.result.hit_rate);
+  EXPECT_GE(d8.result.throughput_mops, 2.0 * d1.result.throughput_mops)
+      << "8 in-flight ops must at least double simulated throughput";
+  EXPECT_GT(d1.result.throughput_mops, 0.0);
+}
+
+TEST_F(PipelineReplayTest, BaselineClientsDegradeToDepth1IncludingMissPenalty) {
+  // Baselines have no completion-queue model: at any depth the fallback
+  // ExecutePipelined must reproduce depth-1 behaviour exactly — including
+  // the miss penalty, which the pipelined issue loop encodes as the chained
+  // re-insert's start offset (regression: the fallback used to ignore
+  // start_ns, silently dropping every penalty from elapsed time).
+  const workload::Trace trace = TestTrace('C', 20000);
+  auto run = [&](size_t depth) {
+    dm::PoolConfig pool_config;
+    pool_config.memory_bytes = 16 << 20;
+    pool_config.num_buckets = 1024;
+    pool_config.capacity_objects = 500;
+    auto pool = std::make_unique<dm::MemoryPool>(pool_config);
+    baselines::ShardLruConfig config;
+    auto dir = std::make_unique<baselines::ShardLruDirectory>(pool.get(), config);
+    ClientContext ctx(0);
+    baselines::ShardLruClient client(pool.get(), dir.get(), &ctx);
+    sim::RunOptions options;
+    options.miss_penalty_us = 500.0;
+    options.pipeline_depth = depth;
+    return sim::RunTrace({&client}, trace, &pool->node(), options);
+  };
+  const sim::RunResult d1 = run(1);
+  const sim::RunResult d8 = run(8);
+  EXPECT_EQ(d8.hit_rate, d1.hit_rate);
+  EXPECT_EQ(d8.elapsed_s, d1.elapsed_s) << "no CQ model: no overlap, penalties included";
+  EXPECT_EQ(d8.p99_us, d1.p99_us);
+}
+
+TEST_F(PipelineReplayTest, ShardedEngineDepthInvariantAcrossThreadCounts) {
+  // The pipelined issue loop lives in the per-shard dispatcher, so the
+  // sharded engine's thread-count invariance must survive pipelining.
+  const workload::Trace trace = TestTrace('B', 30000);
+  auto run_sharded = [&](int threads) {
+    constexpr int kShards = 4;
+    dm::PoolConfig pool_config;
+    pool_config.memory_bytes = 16 << 20;
+    pool_config.num_buckets = 1024;
+    pool_config.capacity_objects = 200;
+    core::DittoConfig config;
+    config.experts = {"lru"};
+    auto pool = std::make_unique<core::ShardedPool>(pool_config, kShards);
+    std::vector<std::unique_ptr<core::DittoServer>> servers;
+    std::vector<std::unique_ptr<ClientContext>> ctxs;
+    std::vector<std::unique_ptr<sim::DittoCacheClient>> shards;
+    std::vector<sim::CacheClient*> raw;
+    std::vector<rdma::RemoteNode*> nodes;
+    for (int i = 0; i < kShards; ++i) {
+      servers.push_back(std::make_unique<core::DittoServer>(&pool->node(i), config));
+      ctxs.push_back(std::make_unique<ClientContext>(i));
+      shards.push_back(
+          std::make_unique<sim::DittoCacheClient>(&pool->node(i), ctxs.back().get(), config));
+      raw.push_back(shards.back().get());
+      nodes.push_back(&pool->node(i).node());
+    }
+    sim::RunOptions options;
+    options.threads = threads;
+    options.pipeline_depth = 8;
+    return sim::RunTraceSharded(raw, trace, nodes, options);
+  };
+  const sim::RunResult t1 = run_sharded(1);
+  const sim::RunResult t4 = run_sharded(4);
+  EXPECT_EQ(t1.hits, t4.hits);
+  EXPECT_EQ(t1.misses, t4.misses);
+  EXPECT_EQ(t1.hit_rate, t4.hit_rate);
+}
+
+}  // namespace
+}  // namespace ditto

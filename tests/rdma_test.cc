@@ -187,13 +187,18 @@ TEST(VerbsTest, AsyncWriteChargesOnlyPostOverhead) {
 TEST(VerbsTest, RpcRunsHandlerAndChargesCpu) {
   CostModel cost;
   RemoteNode node(4096, cost, /*controller_cores=*/1);
-  node.RegisterRpc(99, [](std::string_view req) {
-    return std::string(req) + "-pong";
+  node.RegisterRpc(99, [](std::string_view req, std::string* response) {
+    response->assign(req);
+    response->append("-pong");
   });
   ClientContext ctx(0);
   Verbs verbs(&node, &ctx);
   EXPECT_EQ(verbs.Rpc(99, "ping"), "ping-pong");
   EXPECT_EQ(node.cpu().ops(), 1u);
+  std::string reused;
+  verbs.Rpc(99, "ping", &reused);
+  EXPECT_EQ(reused, "ping-pong") << "caller-buffer overload returns the same payload";
+  EXPECT_EQ(node.cpu().ops(), 2u) << "both overloads charge the controller CPU";
   EXPECT_GT(ctx.clock().busy_us(), cost.rpc_service_us);
 }
 
