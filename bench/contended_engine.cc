@@ -22,7 +22,6 @@
 //   --workload=X    YCSB core workload                 (default A)
 //   --theta=F       YCSB zipf skew                     (default 1.1)
 //   --seed=N        trace seed                         (default 42)
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -33,10 +32,6 @@
 namespace {
 
 using namespace ditto;
-
-double WallSeconds(std::chrono::steady_clock::time_point begin) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
-}
 
 // Replays the trace the way the runner did before the allocation-free
 // refactor: a heap std::string key rendered with snprintf per request, plus a
@@ -155,10 +150,9 @@ int main(int argc, char** argv) {
     {
       bench::DittoDeployment d = bench::MakeDitto(
           bench::MakePoolConfig(keys, 1, /*costed=*/false), config, 1);
-      const auto begin = std::chrono::steady_clock::now();
+      const bench::WallTimer timer;
       sim::RunResult r = ReplayAllocString(d.raw[0], trace, 128);
-      const double seconds = WallSeconds(begin);
-      wall_string = std::max(wall_string, static_cast<double>(r.ops) / (seconds * 1e6));
+      wall_string = std::max(wall_string, timer.Mops(r.ops));
       hit_string = r.hit_rate;
       if (round + 1 == kHotPathRounds) {
         std::printf("%-22s %12.3f %10.2f\n", "alloc-string", wall_string,
@@ -171,10 +165,10 @@ int main(int argc, char** argv) {
           bench::MakePoolConfig(keys, 1, /*costed=*/false), config, 1);
       sim::RunOptions options;
       options.value_bytes = 128;
-      const auto begin = std::chrono::steady_clock::now();
+      // No warmup here, so the engine's own wall measurement covers the whole
+      // replay — the same region ReplayAllocString's timer covers above.
       sim::RunResult r = sim::RunTrace(d.raw, trace, &d.pool->node(), options);
-      const double seconds = WallSeconds(begin);
-      wall_free = std::max(wall_free, static_cast<double>(r.ops) / (seconds * 1e6));
+      wall_free = std::max(wall_free, r.wall_mops);
       hit_free = r.hit_rate;
       if (round + 1 == kHotPathRounds) {
         std::printf("%-22s %12.3f %10.2f\n", "alloc-free", wall_free, r.hit_rate * 100.0);
@@ -217,22 +211,17 @@ int main(int argc, char** argv) {
       sim::RunOptions options;
       options.value_bytes = 128;
       options.warmup_fraction = 0.2;
-      const auto begin = std::chrono::steady_clock::now();
+      // The engine measures wall time over the measured region only (warmup
+      // excluded), consistent with every other bench's wall_mops.
       const sim::RunResult r =
           sim::RunTraceContended(d.raw, contended, {&d.pool->node()}, options);
-      const double seconds = WallSeconds(begin);
-      // The timed region replays warmup + measurement, so the wall rate is
-      // total replayed requests over wall time (r.ops counts only the
-      // measured region and would understate the host-side rate by the
-      // warmup fraction).
-      const double wall_mops = static_cast<double>(contended.size()) / (seconds * 1e6);
       std::printf("%-8d %8.2f %12.3f %12.3f %8.2f %14llu %14llu\n", clients, overlap,
-                  wall_mops, r.throughput_mops, r.hit_rate * 100.0,
+                  r.wall_mops, r.throughput_mops, r.hit_rate * 100.0,
                   static_cast<unsigned long long>(r.cas_failures),
                   static_cast<unsigned long long>(r.insert_retries));
       char label[64];
       std::snprintf(label, sizeof(label), "clients=%d,overlap=%.2f", clients, overlap);
-      bench::EmitBenchJson("contended", label, r, wall_mops);
+      bench::EmitBenchJson("contended", label, r);
     }
   }
   std::printf("\n# expected shape: cas_failures grow with clients and overlap; the\n"

@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
     depths = {static_cast<size_t>(flags.GetInt("depth", 0))};
   }
 
-  std::printf("%-8s %10s %9s %8s %9s %9s %12s\n", "depth", "tput_mops", "speedup", "hit_pct",
-              "p50_us", "p99_us", "nic_msgs");
+  std::printf("%-8s %10s %9s %10s %8s %9s %9s %12s\n", "depth", "tput_mops", "speedup",
+              "wall_mops", "hit_pct", "p50_us", "p99_us", "nic_msgs");
   double base_tput = 0.0;
   double base_hit = -1.0;
   bool hit_invariant = true;
@@ -85,9 +85,9 @@ int main(int argc, char** argv) {
       hit_invariant = false;
     }
     const double speedup = base_tput > 0.0 ? r.throughput_mops / base_tput : 0.0;
-    std::printf("%-8zu %10.3f %8.2fx %8.3f %9.2f %9.2f %12llu\n", depth, r.throughput_mops,
-                speedup, r.hit_rate * 100.0, r.p50_us, r.p99_us,
-                static_cast<unsigned long long>(r.nic_messages));
+    std::printf("%-8zu %10.3f %8.2fx %10.3f %8.3f %9.2f %9.2f %12llu\n", depth,
+                r.throughput_mops, speedup, r.wall_mops, r.hit_rate * 100.0, r.p50_us,
+                r.p99_us, static_cast<unsigned long long>(r.nic_messages));
     char label[64];
     std::snprintf(label, sizeof(label), "depth=%zu clients=%d", depth, clients);
     bench::EmitBenchJson("pipeline", label, r);

@@ -1,19 +1,32 @@
 #!/usr/bin/env python3
-"""Merge bench/out/BENCH_*.json into one performance-trajectory table.
+"""Bench harness: collect BENCH_JSON rows, merge them, and track the trajectory.
 
 Every bench that prints machine-readable "BENCH_JSON {...}" rows (see
-bench::EmitBenchJson) gets those rows collected by scripts/run_benches.sh into
-bench/out/BENCH_<name>.json. This script merges all of them into:
+bench::EmitBenchJson) participates in the repo's cross-PR performance
+trajectory. Three subcommands:
 
-  bench/out/report.json  - one flat JSON array of every row, tagged by file
-  bench/out/report.md    - a markdown table of the same rows
+  collect <stdout.txt> --out-dir DIR [--fallback-name NAME]
+      Extract the BENCH_JSON rows from one bench's captured stdout and write
+      them to DIR/BENCH_<bench>.json, grouping rows by each row's OWN "bench"
+      field (a binary emitting rows for several benches produces several
+      files). Exits non-zero on an unparseable row — corruption is an error,
+      never a silent skip.
 
-so CI artifacts and future PRs can diff ops / throughput / hit rate /
-nearest-rank p50/p99 (and wall_mops where measured) across the repo's history
-without parsing bench stdout.
+  report [--out-dir DIR] [--baseline-dir DIR]
+      Merge DIR/BENCH_*.json into DIR/report.json (flat array) and
+      DIR/report.md (markdown tables). When --baseline-dir holds committed
+      BENCH_*.json from the previous PR (default: the repo root), report.md
+      also gets a per-bench trend table with wall_mops / throughput deltas.
+      Hardware-counter files (DIR/perf_*.txt, written by run_benches.sh
+      --native when `perf` exists) are appended verbatim as a section.
+      Exits non-zero when a BENCH_*.json fails to parse.
 
-Usage: scripts/bench_report.py [--out-dir bench/out]
-Exits non-zero when no BENCH_*.json files are found.
+  floor --out-dir DIR --min-wall-mops X [--bench NAME]
+      Assert the best wall_mops row in DIR (optionally restricted to one
+      bench) sustains at least X Mops — the CI wall-clock floor for the
+      native Release build.
+
+Invoking with no subcommand behaves as `report` (back-compat).
 """
 
 import argparse
@@ -31,7 +44,12 @@ COLUMNS = [
     ("p50_us", "p50_us"),
     ("p99_us", "p99_us"),
     ("wall_mops", "wall_mops"),
+    ("threads", "threads"),
+    ("ops_per_core_mops", "wall/core"),
 ]
+
+TREND_COLUMNS = ["bench", "label", "wall_mops", "base_wall", "wall Δ%",
+                 "tput_mops", "base_tput", "tput Δ%"]
 
 
 def format_cell(value):
@@ -42,34 +60,86 @@ def format_cell(value):
     return str(value)
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--out-dir", default="bench/out",
-                        help="directory holding BENCH_*.json (default bench/out)")
-    args = parser.parse_args()
-
-    paths = sorted(glob.glob(os.path.join(args.out_dir, "BENCH_*.json")))
-    if not paths:
-        print(f"bench_report: no BENCH_*.json under {args.out_dir}", file=sys.stderr)
-        return 1
-
+def load_rows(out_dir):
+    """Loads every BENCH_*.json under out_dir. Raises on malformed files."""
+    paths = sorted(glob.glob(os.path.join(out_dir, "BENCH_*.json")))
     rows = []
     for path in paths:
         with open(path, encoding="utf-8") as f:
-            try:
-                data = json.load(f)
-            except json.JSONDecodeError as e:
-                print(f"bench_report: skipping malformed {path}: {e}", file=sys.stderr)
-                continue
+            data = json.load(f)  # a JSONDecodeError here is fatal by design
         if not isinstance(data, list):
-            print(f"bench_report: skipping {path}: expected a JSON array", file=sys.stderr)
-            continue
+            raise ValueError(f"{path}: expected a JSON array of rows")
         for row in data:
             if not isinstance(row, dict):
-                print(f"bench_report: skipping non-object row in {path}", file=sys.stderr)
-                continue
+                raise ValueError(f"{path}: expected every row to be an object")
             row["source"] = os.path.basename(path)
             rows.append(row)
+    return rows, paths
+
+
+def cmd_collect(args):
+    with open(args.stdout_file, encoding="utf-8") as f:
+        lines = [line[len("BENCH_JSON "):] for line in f
+                 if line.startswith("BENCH_JSON ")]
+    if not lines:
+        print(f"bench_report: no BENCH_JSON rows in {args.stdout_file}")
+        return 0
+    groups = {}
+    for i, line in enumerate(lines):
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as e:
+            print(f"bench_report: malformed BENCH_JSON row {i} in "
+                  f"{args.stdout_file}: {e}\n  {line.rstrip()}", file=sys.stderr)
+            return 1
+        name = row.get("bench") or args.fallback_name
+        if not name:
+            print(f"bench_report: row {i} in {args.stdout_file} has no "
+                  "\"bench\" field and no --fallback-name given", file=sys.stderr)
+            return 1
+        groups.setdefault(name, []).append(row)
+    os.makedirs(args.out_dir, exist_ok=True)
+    for name, rows in sorted(groups.items()):
+        path = os.path.join(args.out_dir, f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as f:
+            json.dump(rows, f, indent=2)
+            f.write("\n")
+        print(f"bench_report: wrote {path} ({len(rows)} rows)")
+    return 0
+
+
+def trend_table(rows, baseline_dir):
+    """Rows of (current, baseline) matched by (bench, label)."""
+    try:
+        base_rows, base_paths = load_rows(baseline_dir)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        return None, f"baseline unreadable: {e}"
+    if not base_paths:
+        return None, f"no committed BENCH_*.json under {baseline_dir}"
+    base = {(r.get("bench"), r.get("label")): r for r in base_rows}
+    matched = []
+    for row in rows:
+        b = base.get((row.get("bench"), row.get("label")))
+        if b is not None:
+            matched.append((row, b))
+    return matched, None
+
+
+def delta_pct(cur, base):
+    if cur is None or base is None or not base:
+        return None
+    return (cur - base) / base * 100.0
+
+
+def cmd_report(args):
+    try:
+        rows, paths = load_rows(args.out_dir)
+    except (ValueError, json.JSONDecodeError) as e:
+        print(f"bench_report: malformed bench results: {e}", file=sys.stderr)
+        return 1
+    if not paths:
+        print(f"bench_report: no BENCH_*.json under {args.out_dir}", file=sys.stderr)
+        return 1
 
     report_json = os.path.join(args.out_dir, "report.json")
     with open(report_json, "w", encoding="utf-8") as f:
@@ -83,11 +153,99 @@ def main():
         f.write("| " + " | ".join(header for _, header in COLUMNS) + " |\n")
         f.write("|" + "|".join("---" for _ in COLUMNS) + "|\n")
         for row in rows:
-            f.write("| " + " | ".join(format_cell(row.get(key)) for key, _ in COLUMNS) + " |\n")
+            f.write("| " + " | ".join(format_cell(row.get(key))
+                                      for key, _ in COLUMNS) + " |\n")
+
+        matched, why_not = trend_table(rows, args.baseline_dir)
+        f.write(f"\n## Trend vs committed baseline ({args.baseline_dir})\n\n")
+        if matched is None:
+            f.write(f"No trend: {why_not}.\n")
+        elif not matched:
+            f.write("No (bench, label) pairs matched the baseline.\n")
+        else:
+            f.write(f"{len(matched)}/{len(rows)} rows matched a baseline row.\n\n")
+            f.write("| " + " | ".join(TREND_COLUMNS) + " |\n")
+            f.write("|" + "|".join("---" for _ in TREND_COLUMNS) + "|\n")
+            for cur, base in matched:
+                wall_d = delta_pct(cur.get("wall_mops"), base.get("wall_mops"))
+                tput_d = delta_pct(cur.get("throughput_mops"),
+                                   base.get("throughput_mops"))
+                cells = [
+                    format_cell(cur.get("bench")), format_cell(cur.get("label")),
+                    format_cell(cur.get("wall_mops")),
+                    format_cell(base.get("wall_mops")),
+                    "-" if wall_d is None else f"{wall_d:+.1f}",
+                    format_cell(cur.get("throughput_mops")),
+                    format_cell(base.get("throughput_mops")),
+                    "-" if tput_d is None else f"{tput_d:+.1f}",
+                ]
+                f.write("| " + " | ".join(cells) + " |\n")
+
+        perf_files = sorted(glob.glob(os.path.join(args.out_dir, "perf_*.txt")))
+        if perf_files:
+            f.write("\n## Hardware counters (perf stat)\n")
+            for path in perf_files:
+                name = os.path.basename(path)[len("perf_"):-len(".txt")]
+                f.write(f"\n### {name}\n\n```\n")
+                with open(path, encoding="utf-8") as pf:
+                    f.write(pf.read())
+                f.write("```\n")
 
     print(f"bench_report: wrote {report_md} and {report_json} ({len(rows)} rows)")
     return 0
 
 
+def cmd_floor(args):
+    try:
+        rows, paths = load_rows(args.out_dir)
+    except (ValueError, json.JSONDecodeError) as e:
+        print(f"bench_report: malformed bench results: {e}", file=sys.stderr)
+        return 1
+    if args.bench:
+        rows = [r for r in rows if r.get("bench") == args.bench]
+    walls = [r.get("wall_mops") for r in rows
+             if isinstance(r.get("wall_mops"), (int, float)) and r.get("wall_mops") > 0]
+    what = f"bench '{args.bench}'" if args.bench else f"{len(paths)} result files"
+    if not walls:
+        print(f"bench_report: floor check failed: no wall_mops rows for {what}",
+              file=sys.stderr)
+        return 1
+    best = max(walls)
+    if best < args.min_wall_mops:
+        print(f"bench_report: floor check FAILED: best wall_mops {best:.3f} < "
+              f"floor {args.min_wall_mops:.3f} ({what})", file=sys.stderr)
+        return 1
+    print(f"bench_report: floor check ok: best wall_mops {best:.3f} >= "
+          f"{args.min_wall_mops:.3f} ({what})")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command")
+
+    p_collect = sub.add_parser("collect", help="extract BENCH_JSON rows from bench stdout")
+    p_collect.add_argument("stdout_file")
+    p_collect.add_argument("--out-dir", default="bench/out")
+    p_collect.add_argument("--fallback-name", default=None,
+                           help="bench name for rows missing the field")
+
+    p_report = sub.add_parser("report", help="merge BENCH_*.json into report.md/json")
+    p_report.add_argument("--out-dir", default="bench/out")
+    p_report.add_argument("--baseline-dir", default=".",
+                          help="dir of committed baseline BENCH_*.json (default: repo root)")
+
+    p_floor = sub.add_parser("floor", help="assert a minimum wall_mops")
+    p_floor.add_argument("--out-dir", default="bench/out")
+    p_floor.add_argument("--bench", default=None)
+    p_floor.add_argument("--min-wall-mops", type=float, required=True)
+
+    # Back-compat: `bench_report.py --out-dir X` still means `report`.
+    if not argv or argv[0] not in ("collect", "report", "floor", "-h", "--help"):
+        argv = ["report"] + argv
+    args = parser.parse_args(argv)
+    return {"collect": cmd_collect, "report": cmd_report, "floor": cmd_floor}[args.command](args)
+
+
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Tests for scripts/bench_report.py: row collection/grouping, strict
+failure on malformed input, trend deltas against a committed baseline, and
+the CI wall-clock floor check. Run directly or via ctest (bench_report_test).
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "bench_report", os.path.join(_HERE, "bench_report.py"))
+bench_report = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(bench_report)
+
+
+def write(path, text):
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(text)
+
+
+def row(bench, label, wall_mops, throughput_mops=1.0, ops=1000):
+    return {"bench": bench, "label": label, "ops": ops,
+            "throughput_mops": throughput_mops, "hit_rate": 0.9,
+            "p50_us": 2.0, "p99_us": 9.0, "wall_mops": wall_mops,
+            "threads": 1, "ops_per_core_mops": wall_mops}
+
+
+class CollectTest(unittest.TestCase):
+    def test_groups_rows_by_their_own_bench_field(self):
+        # The regression: collection used to read the FIRST row's bench field
+        # and file every row of the stdout under it. A binary emitting rows
+        # for two benches must produce two files with the right rows in each.
+        with tempfile.TemporaryDirectory() as tmp:
+            stdout_file = os.path.join(tmp, "stdout.txt")
+            write(stdout_file, "\n".join([
+                "some banner line",
+                "BENCH_JSON " + json.dumps(row("alpha", "a1", 1.0)),
+                "BENCH_JSON " + json.dumps(row("beta", "b1", 2.0)),
+                "BENCH_JSON " + json.dumps(row("alpha", "a2", 3.0)),
+                "trailing non-JSON line",
+            ]) + "\n")
+            self.assertEqual(
+                bench_report.main(["collect", stdout_file, "--out-dir", tmp]), 0)
+            with open(os.path.join(tmp, "BENCH_alpha.json"), encoding="utf-8") as f:
+                alpha = json.load(f)
+            with open(os.path.join(tmp, "BENCH_beta.json"), encoding="utf-8") as f:
+                beta = json.load(f)
+            self.assertEqual([r["label"] for r in alpha], ["a1", "a2"])
+            self.assertEqual([r["label"] for r in beta], ["b1"])
+
+    def test_fallback_name_used_when_bench_field_missing(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            stdout_file = os.path.join(tmp, "stdout.txt")
+            write(stdout_file, "BENCH_JSON " + json.dumps({"label": "x", "ops": 1}) + "\n")
+            self.assertEqual(
+                bench_report.main(["collect", stdout_file, "--out-dir", tmp,
+                                   "--fallback-name", "orphan"]), 0)
+            self.assertTrue(os.path.exists(os.path.join(tmp, "BENCH_orphan.json")))
+
+    def test_malformed_row_is_a_hard_failure(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            stdout_file = os.path.join(tmp, "stdout.txt")
+            # An unescaped quote inside a label used to produce exactly this
+            # kind of truncated/invalid JSON; it must fail the collection.
+            write(stdout_file, 'BENCH_JSON {"bench": "x", "label": "bad "quote""}\n')
+            self.assertEqual(
+                bench_report.main(["collect", stdout_file, "--out-dir", tmp]), 1)
+
+
+class ReportTest(unittest.TestCase):
+    def test_trend_delta_against_fixture_baseline(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            out_dir = os.path.join(tmp, "out")
+            base_dir = os.path.join(tmp, "base")
+            os.makedirs(out_dir)
+            os.makedirs(base_dir)
+            # Current run: 3.0 wall Mops; previous PR's committed baseline: 2.0
+            # -> the trend row must report +50.0% on wall and -20.0% on tput.
+            write(os.path.join(out_dir, "BENCH_demo.json"),
+                  json.dumps([row("demo", "hot", 3.0, throughput_mops=4.0)]))
+            write(os.path.join(base_dir, "BENCH_demo.json"),
+                  json.dumps([row("demo", "hot", 2.0, throughput_mops=5.0),
+                              row("demo", "unmatched", 9.0)]))
+            self.assertEqual(
+                bench_report.main(["report", "--out-dir", out_dir,
+                                   "--baseline-dir", base_dir]), 0)
+            with open(os.path.join(out_dir, "report.md"), encoding="utf-8") as f:
+                md = f.read()
+            self.assertIn("+50.0", md)
+            self.assertIn("-20.0", md)
+            self.assertIn("1/1 rows matched a baseline row", md)
+            with open(os.path.join(out_dir, "report.json"), encoding="utf-8") as f:
+                merged = json.load(f)
+            self.assertEqual(len(merged), 1)
+            self.assertEqual(merged[0]["wall_mops"], 3.0)
+
+    def test_every_row_keeps_wall_mops_in_the_table(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            write(os.path.join(tmp, "BENCH_demo.json"),
+                  json.dumps([row("demo", "r1", 1.25), row("demo", "r2", 2.5)]))
+            self.assertEqual(bench_report.main(
+                ["report", "--out-dir", tmp, "--baseline-dir", tmp]), 0)
+            with open(os.path.join(tmp, "report.md"), encoding="utf-8") as f:
+                md = f.read()
+            self.assertIn("| wall_mops |", md)
+            self.assertIn("1.2500", md)
+            self.assertIn("2.5000", md)
+
+    def test_malformed_result_file_is_a_hard_failure(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            write(os.path.join(tmp, "BENCH_demo.json"), "{not json")
+            self.assertEqual(bench_report.main(
+                ["report", "--out-dir", tmp, "--baseline-dir", tmp]), 1)
+
+
+class FloorTest(unittest.TestCase):
+    def _dir_with_wall(self, tmp, wall):
+        write(os.path.join(tmp, "BENCH_demo.json"),
+              json.dumps([row("demo", "hot", wall)]))
+
+    def test_floor_passes_at_or_above(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self._dir_with_wall(tmp, 2.0)
+            self.assertEqual(bench_report.main(
+                ["floor", "--out-dir", tmp, "--min-wall-mops", "1.5"]), 0)
+
+    def test_floor_fails_below(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self._dir_with_wall(tmp, 1.0)
+            self.assertEqual(bench_report.main(
+                ["floor", "--out-dir", tmp, "--min-wall-mops", "1.5"]), 1)
+
+    def test_floor_fails_when_bench_filter_matches_nothing(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self._dir_with_wall(tmp, 5.0)
+            self.assertEqual(bench_report.main(
+                ["floor", "--out-dir", tmp, "--bench", "absent",
+                 "--min-wall-mops", "0.1"]), 1)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
-# Builds Release and runs every fig* bench plus the sharded-engine and
-# elastic-scaling sweeps, capturing each bench's stdout under bench/out/ and
-# writing a JSON manifest (name, exit code, wall seconds, output path) to
-# bench/out/summary.json — the seed of the repo's performance trajectory
-# across PRs.
+# Builds Release and runs every fig* bench plus the sharded-engine, elastic-
+# scaling, contended-engine and pipelined-engine sweeps, capturing each
+# bench's stdout under bench/out/ and writing a JSON manifest (name, exit
+# code, wall seconds, output path) to bench/out/summary.json.
 #
 # Benches that print machine-readable "BENCH_JSON {...}" lines (see
-# bench::EmitBenchJson: ops, throughput, hit rate, nearest-rank p50/p99) get
-# those rows collected into bench/out/BENCH_<name>.json, so CI and future PRs
-# can diff perf numbers without parsing the human tables.
+# bench::EmitBenchJson: ops, throughput, hit rate, nearest-rank p50/p99,
+# wall_mops) get those rows collected — grouped by each row's own "bench"
+# field — into bench/out/BENCH_<bench>.json by `bench_report.py collect`.
+# The report step then diffs the fresh rows against the committed root-level
+# BENCH_*.json (the previous PR's numbers) and writes bench/out/report.md.
 #
-# Usage: scripts/run_benches.sh [--native] [--scale=N]
-#   --native  builds with DITTO_NATIVE=ON (-O3 -march=native) in a separate
-#             build dir, so wall-clock numbers reflect the host hardware.
+# Portable (non --native) runs finish by PROMOTING bench/out/BENCH_*.json to
+# the repo root; committing those files is what gives the next PR a baseline,
+# i.e. the cross-PR performance trajectory.
+#
+# Usage: scripts/run_benches.sh [--native] [--no-promote] [--scale=N]
+#   --native      builds with DITTO_NATIVE=ON (-O3 -march=native) in a
+#                 separate build dir and output dir (bench/out-native), so
+#                 host-tuned wall-clock numbers never mix into the portable
+#                 trajectory. When `perf` is available, each bench also gets
+#                 hardware counters captured to bench/out-native/perf_<x>.txt.
+#   --no-promote  skip the root-level BENCH_*.json promotion step.
 # Extra args are forwarded to every bench binary.
 set -euo pipefail
 
@@ -20,6 +29,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-bench"
 out_dir="${repo_root}/bench/out"
 native=OFF
+promote=1
 args=()
 for arg in "$@"; do
   if [ "${arg}" = "--native" ]; then
@@ -28,6 +38,8 @@ for arg in "$@"; do
     # Keep host-tuned numbers out of the portable perf trajectory: native
     # runs get their own output dir, so BENCH_*.json rows never mix flavors.
     out_dir="${repo_root}/bench/out-native"
+  elif [ "${arg}" = "--no-promote" ]; then
+    promote=0
   else
     args+=("${arg}")
   fi
@@ -35,6 +47,14 @@ done
 set -- ${args[@]+"${args[@]}"}
 out_rel="${out_dir#${repo_root}/}"
 mkdir -p "${out_dir}"
+
+# Hardware counters only make sense for host-tuned builds, and only when the
+# container actually has perf (it often does not).
+perf_cmd=()
+if [ "${native}" = ON ] && command -v perf >/dev/null 2>&1; then
+  perf_cmd=(perf stat)
+  echo ">> perf found: capturing hardware counters per bench"
+fi
 
 cmake -B "${build_dir}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release \
       -DDITTO_NATIVE="${native}" -DDITTO_BUILD_TESTS=OFF >/dev/null
@@ -52,7 +72,12 @@ for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine "${build_dir}"/el
   echo ">> ${name}"
   start="$(date +%s.%N)"
   status=0
-  "${bench}" "$@" > "${out_file}" 2>&1 || status=$?
+  if [ "${#perf_cmd[@]}" -gt 0 ]; then
+    "${perf_cmd[@]}" -o "${out_dir}/perf_${name}.txt" -- \
+      "${bench}" "$@" > "${out_file}" 2>&1 || status=$?
+  else
+    "${bench}" "$@" > "${out_file}" 2>&1 || status=$?
+  fi
   end="$(date +%s.%N)"
   seconds="$(echo "${end} ${start}" | awk '{printf "%.2f", $1 - $2}')"
   [ "${first}" -eq 1 ] || echo "," >> "${summary}"
@@ -62,30 +87,32 @@ for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine "${build_dir}"/el
   if [ "${status}" -ne 0 ]; then
     echo "   FAILED (exit ${status}) — see ${out_file}"
   fi
-  # Collect the bench's machine-readable rows (if it emits any) into a JSON
-  # array at BENCH_<x>.json, where <x> is the "bench" field the rows carry
-  # (contended_engine emits bench="contended" -> BENCH_contended.json);
-  # falls back to the binary name if the field is missing.
-  if grep -q '^BENCH_JSON ' "${out_file}"; then
-    json_name="$(grep -m1 '^BENCH_JSON ' "${out_file}" \
-                 | sed -nE 's/.*"bench": "([^"]+)".*/\1/p')"
-    [ -n "${json_name}" ] || json_name="${name}"
-    bench_json="${out_dir}/BENCH_${json_name}.json"
-    {
-      echo "["
-      grep '^BENCH_JSON ' "${out_file}" | sed 's/^BENCH_JSON //' | sed '$!s/$/,/'
-      echo "]"
-    } > "${bench_json}"
-    echo "   wrote ${bench_json}"
-  fi
+  # Collect the bench's machine-readable rows (if any) into one JSON array
+  # per DISTINCT "bench" field the rows carry — a binary emitting rows for
+  # several benches produces several BENCH_<x>.json files. A malformed row
+  # is a hard error: corrupt trajectory files must never be written.
+  python3 "${repo_root}/scripts/bench_report.py" collect "${out_file}" \
+          --out-dir "${out_dir}" --fallback-name "${name}"
 done
 
 echo >> "${summary}"
 echo "]" >> "${summary}"
 echo "wrote ${summary}"
 
-# Merge every BENCH_*.json into the cross-PR trajectory table. Individual
-# bench failures are tolerated above, so an empty collection is a warning,
-# not a script failure.
-python3 "${repo_root}/scripts/bench_report.py" --out-dir "${out_dir}" ||
-  echo "bench_report: no machine-readable rows collected" 
+# Merge every BENCH_*.json into the trajectory table, diffing against the
+# committed root-level baseline from the previous PR. Individual bench
+# failures are tolerated above, so an empty collection is a warning, not a
+# script failure — but a MALFORMED collection fails the script.
+python3 "${repo_root}/scripts/bench_report.py" report --out-dir "${out_dir}" \
+        --baseline-dir "${repo_root}" ||
+  echo "bench_report: no machine-readable rows collected"
+
+# Promote portable results to the repo root so this PR can commit them as
+# the next PR's baseline. Runs after the report step: the report must diff
+# against the PREVIOUS baseline before it is overwritten. Native numbers are
+# host-specific and never promoted.
+if [ "${native}" = OFF ] && [ "${promote}" -eq 1 ] &&
+   ls "${out_dir}"/BENCH_*.json >/dev/null 2>&1; then
+  cp "${out_dir}"/BENCH_*.json "${repo_root}/"
+  echo "promoted $(ls "${out_dir}"/BENCH_*.json | wc -l) BENCH_*.json to repo root (commit them)"
+fi

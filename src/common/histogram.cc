@@ -6,6 +6,24 @@
 
 namespace ditto {
 
+namespace {
+
+// Authoritative bucket upper edges, computed once: edges[b] = 10^((b+1)/64).
+// Placement and percentile reporting both read this table, so a sample can
+// never land in a bucket inconsistent with the edge the percentile reports.
+const std::array<double, Histogram::kNumBuckets>& BucketEdges() {
+  static const std::array<double, Histogram::kNumBuckets> edges = [] {
+    std::array<double, Histogram::kNumBuckets> e{};
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      e[b] = std::pow(10.0, static_cast<double>(b + 1) / Histogram::kBucketsPerDecade);
+    }
+    return e;
+  }();
+  return edges;
+}
+
+}  // namespace
+
 int Histogram::BucketFor(uint64_t ns) {
   if (ns == 0) {
     return 0;
@@ -18,12 +36,22 @@ int Histogram::BucketFor(uint64_t ns) {
   if (bucket >= kNumBuckets) {
     bucket = kNumBuckets - 1;
   }
+  // log10 is only an estimate: at exact bucket edges libm can round a hair
+  // below the integer (log10(1000) = 2.999…96), dropping the sample one
+  // bucket low. Clamp against the authoritative edges so bucket b always
+  // covers [BucketUpperNs(b-1), BucketUpperNs(b)).
+  const auto& edges = BucketEdges();
+  const double v = static_cast<double>(ns);
+  while (bucket + 1 < kNumBuckets && v >= edges[bucket]) {
+    ++bucket;
+  }
+  while (bucket > 0 && v < edges[bucket - 1]) {
+    --bucket;
+  }
   return bucket;
 }
 
-double Histogram::BucketUpperNs(int bucket) {
-  return std::pow(10.0, static_cast<double>(bucket + 1) / kBucketsPerDecade);
-}
+double Histogram::BucketUpperNs(int bucket) { return BucketEdges()[bucket]; }
 
 void Histogram::RecordNs(uint64_t ns) {
   buckets_[BucketFor(ns)]++;

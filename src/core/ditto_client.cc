@@ -73,7 +73,7 @@ void DittoClient::ResolveDuplicates(uint64_t bucket, uint64_t hash, uint8_t fp) 
   int canonical = -1;
   for (int i = 0; i < table_.slots_per_bucket(); ++i) {
     const ht::SlotView& slot = dedup_buf_[i];
-    if (!slot.IsObject() || slot.fp() != fp || slot.hash != hash) {
+    if (!ht::MatchesObject(slot, fp, hash)) {
       continue;
     }
     if (canonical < 0) {
@@ -158,15 +158,26 @@ void DittoClient::StartGet(GetOp* op, std::string_view key, std::string* value) 
   op->fp = Fingerprint(op->hash);
   op->bucket = table_.BucketIndexFor(op->hash);
   op->wr = table_.PostReadBucket(op->bucket, &bucket_buf_);
+  // The bucket decodes at post time, so the matching object's address is
+  // already known here — one verb ahead of the object READ. Prefetch its
+  // blocks now: by the time the bucket completion is consumed and
+  // kVerifyObject's READ copies the object, the lines are warm. Free in
+  // verb/time accounting (see Verbs::PrefetchRead).
+  const int match = ht::FindObjectSlot(bucket_buf_.data(), 0, table_.slots_per_bucket(),
+                                       op->fp, op->hash);
+  if (match >= 0) {
+    const ht::SlotView& slot = bucket_buf_[match];
+    verbs_.PrefetchRead(slot.pointer(),
+                        static_cast<size_t>(slot.size_blocks()) * dm::kBlockBytes);
+  }
   op->stage = GetOp::Stage::kMatchSlot;
 }
 
 void DittoClient::GetMatchNext(GetOp* op) {
-  for (int i = op->scan_from; i < table_.slots_per_bucket(); ++i) {
+  const int i = ht::FindObjectSlot(bucket_buf_.data(), op->scan_from,
+                                   table_.slots_per_bucket(), op->fp, op->hash);
+  if (i >= 0) {
     const ht::SlotView& slot = bucket_buf_[i];
-    if (!slot.IsObject() || slot.fp() != op->fp || slot.hash != op->hash) {
-      continue;
-    }
     op->slot = i;
     op->scan_from = i + 1;
     const size_t obj_bytes = static_cast<size_t>(slot.size_blocks()) * dm::kBlockBytes;
@@ -389,15 +400,13 @@ bool DittoClient::ClaimSlotAndPublish(uint64_t bucket, uint64_t hash, uint8_t fp
     // A concurrent client may have inserted the same key since our lookup:
     // replace it in place instead of creating a duplicate (duplicates would
     // silently waste capacity and depress hit rates).
-    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
-      if (bucket_buf_[i].IsObject() && bucket_buf_[i].fp() == fp &&
-          bucket_buf_[i].hash == hash) {
-        target = i;
-        expected = bucket_buf_[i].atomic_word;
-        target_is_object = true;
-        target_is_duplicate = true;
-        break;
-      }
+    const int dup = ht::FindObjectSlot(bucket_buf_.data(), 0, table_.slots_per_bucket(),
+                                       fp, hash);
+    if (dup >= 0) {
+      target = dup;
+      expected = bucket_buf_[dup].atomic_word;
+      target_is_object = true;
+      target_is_duplicate = true;
     }
     // Preference order: empty slot; our own history entry; expired history;
     // oldest history; finally evict the lowest-priority object in the bucket.
@@ -540,16 +549,13 @@ bool DittoClient::StepSet(SetOp* op) {
   switch (op->stage) {
     case SetOp::Stage::kMatchForUpdate: {
       verbs_.WaitWr(op->wr);
-      op->found_slot = -1;
-      for (int i = 0; i < table_.slots_per_bucket(); ++i) {
-        const ht::SlotView& slot = bucket_buf_[i];
-        if (slot.IsObject() && slot.fp() == op->fp && slot.hash == op->hash) {
-          op->found_slot = i;
-          op->found_atomic = slot.atomic_word;
-          op->found_pointer = slot.pointer();
-          op->found_blocks = slot.size_blocks();
-          break;
-        }
+      op->found_slot = ht::FindObjectSlot(bucket_buf_.data(), 0, table_.slots_per_bucket(),
+                                          op->fp, op->hash);
+      if (op->found_slot >= 0) {
+        const ht::SlotView& slot = bucket_buf_[op->found_slot];
+        op->found_atomic = slot.atomic_word;
+        op->found_pointer = slot.pointer();
+        op->found_blocks = slot.size_blocks();
       }
       if (op->found_slot < 0) {
         SetEnterInsert(op);
@@ -714,14 +720,8 @@ bool DittoClient::Delete(std::string_view key) {
   const uint64_t bucket = table_.BucketIndexFor(hash);
   for (int attempt = 0; attempt < 4; ++attempt) {
     table_.ReadBucket(bucket, &bucket_buf_);
-    int found = -1;
-    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
-      const ht::SlotView& slot = bucket_buf_[i];
-      if (slot.IsObject() && slot.fp() == fp && slot.hash == hash) {
-        found = i;
-        break;
-      }
-    }
+    const int found =
+        ht::FindObjectSlot(bucket_buf_.data(), 0, table_.slots_per_bucket(), fp, hash);
     if (found < 0) {
       return false;
     }
@@ -742,14 +742,8 @@ bool DittoClient::Expire(std::string_view key, uint64_t ttl_ticks) {
   const uint64_t bucket = table_.BucketIndexFor(hash);
   for (int attempt = 0; attempt < 4; ++attempt) {
     table_.ReadBucket(bucket, &bucket_buf_);
-    int found = -1;
-    for (int i = 0; i < table_.slots_per_bucket(); ++i) {
-      const ht::SlotView& slot = bucket_buf_[i];
-      if (slot.IsObject() && slot.fp() == fp && slot.hash == hash) {
-        found = i;
-        break;
-      }
-    }
+    const int found =
+        ht::FindObjectSlot(bucket_buf_.data(), 0, table_.slots_per_bucket(), fp, hash);
     if (found < 0) {
       return false;
     }

@@ -6,12 +6,11 @@
 namespace ditto::ht {
 
 SlotView HashTable::DecodeSlot(const uint8_t* raw) {
+  // SlotView mirrors the wire layout exactly (asserted in layout.h), so one
+  // 40-byte copy decodes the whole slot — the per-field memcpys this
+  // replaces were ~5x the work on the bucket-scan hot path.
   SlotView view;
-  std::memcpy(&view.atomic_word, raw + kAtomicOff, 8);
-  std::memcpy(&view.hash, raw + kHashOff, 8);
-  std::memcpy(&view.insert_ts, raw + kInsertTsOff, 8);
-  std::memcpy(&view.last_ts, raw + kLastTsOff, 8);
-  std::memcpy(&view.freq, raw + kFreqOff, 8);
+  std::memcpy(&view, raw, kSlotBytes);
   return view;
 }
 
@@ -35,9 +34,7 @@ uint64_t HashTable::PostReadBucket(uint64_t bucket, std::vector<SlotView>* out) 
   const uint64_t wr =
       verbs_->PostRead(SlotAddr(bucket * slots_per_bucket_), scratch_.data(), bytes);
   out->resize(count);
-  for (int i = 0; i < count; ++i) {
-    (*out)[i] = DecodeSlot(scratch_.data() + static_cast<size_t>(i) * kSlotBytes);
-  }
+  std::memcpy(out->data(), scratch_.data(), bytes);  // layout match: one bulk decode
   return wr;
 }
 
@@ -57,9 +54,7 @@ bool HashTable::ReadSlots(uint64_t start_slot, int count, std::vector<SlotView>*
   scratch_.resize(bytes);
   verbs_->Read(SlotAddr(start_slot), scratch_.data(), bytes);
   out->resize(count);
-  for (int i = 0; i < count; ++i) {
-    (*out)[i] = DecodeSlot(scratch_.data() + static_cast<size_t>(i) * kSlotBytes);
-  }
+  std::memcpy(out->data(), scratch_.data(), bytes);  // layout match: one bulk decode
   return true;
 }
 

@@ -18,6 +18,7 @@
 #ifndef DITTO_HASHTABLE_LAYOUT_H_
 #define DITTO_HASHTABLE_LAYOUT_H_
 
+#include <cstddef>
 #include <cstdint>
 
 namespace ditto::ht {
@@ -61,6 +62,40 @@ struct SlotView {
   uint64_t history_id() const { return AtomicPointer(atomic_word); }
   uint64_t expert_bmap() const { return insert_ts; }
 };
+
+// SlotView mirrors the wire layout field-for-field, so a whole slot (or a
+// whole bucket) decodes with one memcpy from the READ scratch buffer.
+static_assert(sizeof(SlotView) == kSlotBytes, "SlotView must match the wire slot size");
+static_assert(offsetof(SlotView, atomic_word) == kAtomicOff &&
+                  offsetof(SlotView, hash) == kHashOff &&
+                  offsetof(SlotView, insert_ts) == kInsertTsOff &&
+                  offsetof(SlotView, last_ts) == kLastTsOff &&
+                  offsetof(SlotView, freq) == kFreqOff,
+              "SlotView fields must sit at the wire offsets");
+
+// Branch-reduced object match, equivalent to
+//   slot.IsObject() && slot.fp() == fp && slot.hash == hash
+// but evaluated with flag arithmetic instead of short-circuit branches: a
+// bucket scan compiles to a straight-line compare/set chain with one
+// unpredictable branch per bucket rather than three per slot.
+inline bool MatchesObject(const SlotView& slot, uint8_t fp, uint64_t hash) {
+  const uint64_t w = slot.atomic_word;
+  return static_cast<bool>(static_cast<int>(w != 0) &
+                           static_cast<int>(static_cast<uint8_t>(w >> 48) != kHistorySizeTag) &
+                           static_cast<int>(static_cast<uint8_t>(w >> 56) == fp) &
+                           static_cast<int>(slot.hash == hash));
+}
+
+// Index of the first object slot in slots[from, n) matching (fp, hash), or
+// -1 when none does. The shared scan of every lookup/update/claim path.
+inline int FindObjectSlot(const SlotView* slots, int from, int n, uint8_t fp, uint64_t hash) {
+  for (int i = from; i < n; ++i) {
+    if (MatchesObject(slots[i], fp, hash)) {
+      return i;
+    }
+  }
+  return -1;
+}
 
 }  // namespace ditto::ht
 

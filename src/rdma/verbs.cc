@@ -153,6 +153,10 @@ void Verbs::Read(uint64_t addr, void* dst, size_t len) {
   WaitWr(PostRead(addr, dst, len));
 }
 
+void Verbs::PrefetchRead(uint64_t addr, size_t len) const {
+  node_->arena().PrefetchRead(addr, len);
+}
+
 void Verbs::Write(uint64_t addr, const void* src, size_t len) {
   WaitWr(PostWrite(addr, src, len));
 }

@@ -44,6 +44,12 @@ class Verbs {
   ClientContext& ctx() { return *ctx_; }
 
   void Read(uint64_t addr, void* dst, size_t len);
+  // Host-cache prefetch of remote memory this client is about to READ (the
+  // simulator analogue of warming DDIO lines while a posted verb is in
+  // flight). Free by construction: posts no verb, charges no virtual time,
+  // counts no NIC message — verb accounting is bit-identical with or
+  // without it.
+  void PrefetchRead(uint64_t addr, size_t len) const;
   void Write(uint64_t addr, const void* src, size_t len);
   // Posted without waiting for completion (unsignalled WRITE).
   void WriteAsync(uint64_t addr, const void* src, size_t len);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <deque>
 #include <thread>
@@ -463,6 +464,24 @@ RunResult FinishMeasurement(const std::vector<CacheClient*>& clients,
   return result;
 }
 
+// Host wall-clock timing of the measured region. Every engine brackets its
+// measured replay (including the Finish() drain) with a WallBegin/FillWall
+// pair; the quotient is the real host replay rate, as opposed to the
+// virtual-time throughput FinishMeasurement derives from the network model.
+using WallPoint = std::chrono::steady_clock::time_point;
+
+WallPoint WallBegin() { return std::chrono::steady_clock::now(); }
+
+void FillWall(RunResult* result, WallPoint begin, int threads) {
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin).count();
+  result->wall_s = wall_s;
+  result->wall_mops =
+      wall_s > 0.0 ? static_cast<double>(result->ops) / (wall_s * 1e6) : 0.0;
+  result->threads = std::max(threads, 1);
+  result->ops_per_core_mops = result->wall_mops / static_cast<double>(result->threads);
+}
+
 // One phase (warmup or measurement) of the concurrent sharded engine: a
 // dispatcher (the calling thread) routes trace[begin, end) to per-shard SPSC
 // queues by seeded key hash; worker t drains the queues of shards t, t+T,
@@ -632,12 +651,16 @@ RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Tra
 
   const ResolvedSchedule schedule = ResolveSchedule(options, measure_begin, trace.size());
   const MeasureBaseline base = BeginMeasurement(clients, nodes);
+  const WallPoint wall_begin = WallBegin();
   std::vector<PhaseResult> phases;
   ReplayInterleaved(clients, trace, measure_begin, trace.size(), options, &schedule, &phases);
   for (CacheClient* client : clients) {
     client->Finish();
   }
   RunResult result = FinishMeasurement(clients, nodes, base, trace.size() - measure_begin);
+  // The interleaved engine (and thus pipelined replay) runs on one host
+  // thread regardless of the client count.
+  FillWall(&result, wall_begin, /*threads=*/1);
   FinalizePhases(schedule, &phases);
   result.phases = std::move(phases);
   return result;
@@ -664,12 +687,15 @@ RunResult RunTraceSharded(const std::vector<CacheClient*>& shards, const workloa
 
   const ResolvedSchedule schedule = ResolveSchedule(options, measure_begin, trace.size());
   const MeasureBaseline base = BeginMeasurement(shards, nodes);
+  const WallPoint wall_begin = WallBegin();
   std::vector<PhaseResult> phases;
   ReplaySharded(shards, trace, measure_begin, trace.size(), options, &schedule, &phases);
   for (CacheClient* shard : shards) {
     shard->Finish();
   }
   RunResult result = FinishMeasurement(shards, nodes, base, trace.size() - measure_begin);
+  FillWall(&result, wall_begin,
+           std::max(1, std::min<int>(options.threads, static_cast<int>(shards.size()))));
   FinalizePhases(schedule, &phases);
   result.phases = std::move(phases);
   return result;
@@ -698,6 +724,7 @@ RunResult RunTraceContended(const std::vector<CacheClient*>& clients,
 
   const ResolvedSchedule schedule = ResolveSchedule(options, measure_begin, trace.size());
   const MeasureBaseline base = BeginMeasurement(clients, nodes);
+  const WallPoint wall_begin = WallBegin();
   std::vector<PhaseResult> phases;
   ReplayContended(clients, trace, measure_begin, trace.size(), options, &schedule, &phases);
   for (CacheClient* client : clients) {
@@ -705,6 +732,7 @@ RunResult RunTraceContended(const std::vector<CacheClient*>& clients,
   }
   const size_t measured = trace.size() - measure_begin;
   RunResult result = FinishMeasurement(clients, nodes, base, measured);
+  FillWall(&result, wall_begin, static_cast<int>(clients.size()));
   FinalizePhases(schedule, &phases);
   result.phases = std::move(phases);
 
