@@ -1,0 +1,124 @@
+// ditto_server: serves the Ditto cache over RESP2 on a real TCP port.
+//
+//   ./ditto_server --port=6399 --reactors=2 --shards=1 --capacity=65536
+//
+// Builds a Ditto deployment (one shared memory pool, or a ShardedPool when
+// --shards > 1) with one cache client per reactor, starts the multi-reactor
+// net::Server, and runs until SIGTERM/SIGINT. Shutdown is graceful: the
+// signal stops the acceptors, closes every connection, joins the reactors,
+// flushes the clients, prints the final stats line, and exits 0.
+//
+// With --reactors > 1 the reactors' clients contend on the shared pool, so
+// DittoConfig::validate_inserts is forced on (same rule as any multi-client
+// deployment).
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "net/server.h"
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "ditto_server: RESP2 front end for the Ditto cache\n"
+      "  --host=ADDR        bind address (default 127.0.0.1)\n"
+      "  --port=N           TCP port, 0 = kernel-assigned (default 6399)\n"
+      "  --reactors=N       event-loop threads, one cache client each (default 1)\n"
+      "  --shards=N         memory nodes in the pool (default 1)\n"
+      "  --capacity=N       cache capacity in objects, per node (default 65536)\n"
+      "  --max_conns=N      live-connection cap (default 1024)\n"
+      "  --shed_watermark=N in-flight op cap before -LOADSHED, 0 = off (default 65536)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ditto;
+
+  const Flags flags(argc, argv);
+  if (flags.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+  const int reactors = static_cast<int>(flags.GetInt("reactors", 1));
+  const int shards = static_cast<int>(flags.GetInt("shards", 1));
+  const uint64_t capacity = static_cast<uint64_t>(flags.GetInt("capacity", 64 << 10));
+  if (reactors < 1 || shards < 1 || capacity == 0) {
+    std::fprintf(stderr, "ditto_server: --reactors, --shards, --capacity must be >= 1\n");
+    return 2;
+  }
+
+  net::ServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<uint16_t>(flags.GetInt("port", 6399));
+  options.max_conns = static_cast<size_t>(flags.GetInt("max_conns", 1024));
+  options.shed_watermark = static_cast<size_t>(flags.GetInt("shed_watermark", 64 << 10));
+
+  core::DittoConfig config;
+  config.validate_inserts = reactors > 1;
+
+  // Keep the deployment alive for the whole server lifetime. Each reactor
+  // gets its own client (and virtual clock); with --shards > 1 every client
+  // fans out across the pool's memory nodes by key hash.
+  const dm::PoolConfig pool_config = bench::MakePoolConfig(capacity);
+  bench::DittoDeployment single;
+  std::unique_ptr<core::ShardedPool> sharded_pool;
+  std::unique_ptr<core::ShardedDittoServer> sharded_server;
+  std::vector<std::unique_ptr<rdma::ClientContext>> sharded_ctxs;
+  std::vector<std::unique_ptr<sim::ShardedDittoCacheClient>> sharded_clients;
+  std::vector<sim::CacheClient*> clients;
+  if (shards == 1) {
+    single = bench::MakeDitto(pool_config, config, reactors);
+    clients = single.raw;
+  } else {
+    sharded_pool = std::make_unique<core::ShardedPool>(pool_config, shards);
+    sharded_server = std::make_unique<core::ShardedDittoServer>(sharded_pool.get(), config);
+    for (int i = 0; i < reactors; ++i) {
+      sharded_ctxs.push_back(std::make_unique<rdma::ClientContext>(static_cast<uint32_t>(i)));
+      sharded_clients.push_back(std::make_unique<sim::ShardedDittoCacheClient>(
+          sharded_pool.get(), sharded_ctxs.back().get(), config));
+      clients.push_back(sharded_clients.back().get());
+    }
+  }
+
+  // Block the shutdown signals before Start so the reactor threads inherit
+  // the mask and delivery lands in this thread's sigwait.
+  sigset_t sigs;
+  sigemptyset(&sigs);
+  sigaddset(&sigs, SIGTERM);
+  sigaddset(&sigs, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &sigs, nullptr);
+
+  net::Server server(clients, options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "ditto_server: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("ditto_server: listening on %s:%u (reactors=%d shards=%d capacity=%llu "
+              "max_conns=%zu shed_watermark=%zu)\n",
+              options.host.c_str(), server.port(), reactors, shards,
+              static_cast<unsigned long long>(capacity), options.max_conns,
+              options.shed_watermark);
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&sigs, &sig);
+  std::printf("ditto_server: received %s, shutting down\n",
+              sig == SIGTERM ? "SIGTERM" : "SIGINT");
+  server.Stop();
+
+  const net::ServerStats stats = server.stats();
+  std::printf("ditto_server: served %llu commands (%llu ops, %llu shed) over %llu "
+              "connections (%llu rejected)\n",
+              static_cast<unsigned long long>(stats.commands),
+              static_cast<unsigned long long>(stats.ops),
+              static_cast<unsigned long long>(stats.shed_ops),
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.rejected_conns));
+  return 0;
+}

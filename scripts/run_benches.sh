@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Builds Release and runs every fig* bench plus the sharded-engine, elastic-
-# scaling, contended-engine and pipelined-engine sweeps, capturing each
+# scaling, contended-engine, pipelined-engine and server-loadgen (RESP front
+# end over loopback sockets) sweeps, capturing each
 # bench's stdout under bench/out/ and writing a JSON manifest (name, exit
 # code, wall seconds, output path) to bench/out/summary.json.
 #
@@ -65,7 +66,8 @@ echo "[" > "${summary}"
 first=1
 
 for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine "${build_dir}"/elastic_scaling \
-             "${build_dir}"/contended_engine "${build_dir}"/pipelined_engine; do
+             "${build_dir}"/contended_engine "${build_dir}"/pipelined_engine \
+             "${build_dir}"/server_loadgen; do
   [ -x "${bench}" ] || continue
   name="$(basename "${bench}")"
   out_file="${out_dir}/${name}.txt"

@@ -1,0 +1,254 @@
+#include "net/connection.h"
+
+#include <charconv>
+
+namespace ditto::net {
+
+namespace {
+
+// Case-insensitive ASCII compare against an UPPERCASE literal.
+bool VerbIs(std::string_view verb, std::string_view upper) {
+  if (verb.size() != upper.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < verb.size(); ++i) {
+    char c = verb[i];
+    if (c >= 'a' && c <= 'z') {
+      c = static_cast<char>(c - 'a' + 'A');
+    }
+    if (c != upper[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ParseU64(std::string_view s, uint64_t* value) {
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, *value);
+  return ec == std::errc() && ptr == end;
+}
+
+// Cache ops a command of `argc` arguments wants to execute — the unit the
+// global in-flight watermark is charged in. Commands that execute no cache
+// op (PING/INFO/QUIT/unknown) are never shed.
+size_t OpsForCommand(std::string_view verb, size_t argc) {
+  if (VerbIs(verb, "GET") || VerbIs(verb, "SET") || VerbIs(verb, "EXPIRE") ||
+      VerbIs(verb, "TTL")) {
+    return argc >= 2 ? 1 : 0;
+  }
+  if (VerbIs(verb, "DEL") || VerbIs(verb, "MGET")) {
+    return argc >= 2 ? argc - 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool Connection::ProcessInput() {
+  if (closing_) {
+    return false;
+  }
+  // Pass 1: parse every complete pipelined command out of the input ring,
+  // charging the global in-flight budget at parse time. The burst size of
+  // one read batch is the connection's instantaneous demand: commands past
+  // the watermark are marked shed here and never execute.
+  batch_.clear();
+  batch_args_.clear();
+  batch_ops_acquired_ = 0;
+  uint64_t shed_ops = 0;
+  bool protocol_error = false;
+  while (true) {
+    const ParseStatus status = parser_.Parse(&in_, &cmd_);
+    if (status == ParseStatus::kNeedMore) {
+      break;
+    }
+    if (status == ParseStatus::kError) {
+      protocol_error = true;
+      break;
+    }
+    PendingCmd pending;
+    pending.args_begin = batch_args_.size();
+    batch_args_.insert(batch_args_.end(), cmd_.args.begin(), cmd_.args.end());
+    pending.args_end = batch_args_.size();
+    const size_t ops = OpsForCommand(cmd_.args[0], cmd_.args.size());
+    if (ops > 0 && !host_->AcquireOps(ops)) {
+      pending.shed = true;
+      shed_ops += ops;
+    } else {
+      batch_ops_acquired_ += ops;
+    }
+    batch_.push_back(pending);
+  }
+
+  // Pass 2: execute admitted commands in order, formatting replies in
+  // command order; shed commands answer -LOADSHED in their slot.
+  uint64_t executed_ops = 0;
+  for (const PendingCmd& pending : batch_) {
+    if (pending.shed) {
+      AppendError(&out_, "LOADSHED server over in-flight op watermark, retry");
+      continue;
+    }
+    const std::string_view* args = batch_args_.data() + pending.args_begin;
+    const size_t argc = pending.args_end - pending.args_begin;
+    executed_ops += OpsForCommand(args[0], argc);
+    if (!ExecuteCommand(args, argc)) {
+      closing_ = true;
+      break;
+    }
+  }
+  host_->ReleaseOps(batch_ops_acquired_);
+  host_->OnCommands(batch_.size(), executed_ops, shed_ops);
+
+  if (protocol_error) {
+    AppendError(&out_, parser_.error());
+    closing_ = true;
+  }
+  return !closing_;
+}
+
+bool Connection::ExecuteCommand(const std::string_view* args, size_t argc) {
+  const std::string_view verb = args[0];
+
+  if (VerbIs(verb, "PING")) {
+    if (argc == 1) {
+      AppendSimple(&out_, "PONG");
+    } else {
+      AppendBulk(&out_, args[1]);
+    }
+    return true;
+  }
+  if (VerbIs(verb, "QUIT")) {
+    AppendSimple(&out_, "OK");
+    return false;
+  }
+  if (VerbIs(verb, "INFO")) {
+    info_.clear();
+    host_->FormatInfo(&info_);
+    AppendBulk(&out_, info_);
+    return true;
+  }
+
+  if (VerbIs(verb, "GET")) {
+    if (argc != 2) {
+      WrongArity("get");
+      return true;
+    }
+    ops_.assign(1, sim::CacheOp::Get(args[1], /*want_value=*/true));
+    ExecuteOps();
+    if (results_[0].hit()) {
+      AppendBulk(&out_, results_[0].value);
+    } else {
+      AppendNil(&out_);
+    }
+    return true;
+  }
+
+  if (VerbIs(verb, "SET")) {
+    uint64_t ttl_ticks = 0;
+    if (argc == 5 && (VerbIs(args[3], "EX") || VerbIs(args[3], "PX") || VerbIs(args[3], "TTL"))) {
+      if (!ParseU64(args[4], &ttl_ticks)) {
+        AppendError(&out_, "ERR value is not an integer or out of range");
+        return true;
+      }
+    } else if (argc != 3) {
+      argc < 3 ? WrongArity("set") : AppendError(&out_, "ERR syntax error");
+      return true;
+    }
+    ops_.assign(1, sim::CacheOp::Set(args[1], args[2], ttl_ticks));
+    ExecuteOps();
+    if (results_[0].status == sim::OpStatus::kStored) {
+      AppendSimple(&out_, "OK");
+    } else {
+      AppendError(&out_, "OOM store dropped (memory exhausted, nothing evictable)");
+    }
+    return true;
+  }
+
+  if (VerbIs(verb, "DEL")) {
+    if (argc < 2) {
+      WrongArity("del");
+      return true;
+    }
+    ops_.clear();
+    for (size_t i = 1; i < argc; ++i) {
+      ops_.push_back(sim::CacheOp::Delete(args[i]));
+    }
+    ExecuteOps();
+    int64_t deleted = 0;
+    for (const sim::CacheResult& r : results_) {
+      deleted += r.status == sim::OpStatus::kDeleted ? 1 : 0;
+    }
+    AppendInteger(&out_, deleted);
+    return true;
+  }
+
+  if (VerbIs(verb, "EXPIRE")) {
+    uint64_t ttl_ticks = 0;
+    if (argc != 3) {
+      WrongArity("expire");
+      return true;
+    }
+    if (!ParseU64(args[2], &ttl_ticks)) {
+      AppendError(&out_, "ERR value is not an integer or out of range");
+      return true;
+    }
+    ops_.assign(1, sim::CacheOp::Expire(args[1], ttl_ticks));
+    ExecuteOps();
+    AppendInteger(&out_, results_[0].status == sim::OpStatus::kStored ? 1 : 0);
+    return true;
+  }
+
+  if (VerbIs(verb, "MGET")) {
+    if (argc < 2) {
+      WrongArity("mget");
+      return true;
+    }
+    // A run of kMultiGet ops in one batch is the client protocol's fused
+    // multi-get: batching-capable clients chain the whole run's metadata
+    // verbs behind one NIC doorbell.
+    ops_.clear();
+    for (size_t i = 1; i < argc; ++i) {
+      ops_.push_back(sim::CacheOp::MultiGet(args[i], /*want_value=*/true));
+    }
+    ExecuteOps();
+    AppendArrayHeader(&out_, results_.size());
+    for (const sim::CacheResult& r : results_) {
+      if (r.hit()) {
+        AppendBulk(&out_, r.value);
+      } else {
+        AppendNil(&out_);
+      }
+    }
+    return true;
+  }
+
+  if (VerbIs(verb, "TTL")) {
+    if (argc != 2) {
+      WrongArity("ttl");
+      return true;
+    }
+    // The CacheOp protocol has no TTL read-back; probe existence with a
+    // valueless Get. -1 = cached (remaining ticks not exposed), -2 = absent,
+    // matching redis's "no TTL" / "no key" distinction.
+    ops_.assign(1, sim::CacheOp::Get(args[1], /*want_value=*/false));
+    ExecuteOps();
+    AppendInteger(&out_, results_[0].hit() ? -1 : -2);
+    return true;
+  }
+
+  AppendError(&out_, "ERR unknown command '" + std::string(verb) + "'");
+  return true;
+}
+
+void Connection::ExecuteOps() {
+  results_.assign(ops_.size(), sim::CacheResult{});
+  host_->client()->ExecuteBatch({ops_.data(), ops_.size()}, results_.data());
+}
+
+void Connection::WrongArity(std::string_view verb) {
+  AppendError(&out_,
+              "ERR wrong number of arguments for '" + std::string(verb) + "' command");
+}
+
+}  // namespace ditto::net

@@ -1,0 +1,419 @@
+#include "net/loadgen.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.h"
+#include "net/resp.h"
+#include "net/ring_buffer.h"
+#include "sim/runner.h"
+
+namespace ditto::net {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// What a command awaiting its reply was, so the reply handler knows how to
+// account it and whether a nil triggers the miss re-insert.
+enum class CmdKind : uint8_t { kGet, kSet, kMissSet, kDelete, kExpire };
+
+struct PendingReply {
+  CmdKind kind;
+  uint64_t key;
+  uint64_t send_ns;
+};
+
+struct Conn {
+  int fd = -1;
+  RingBuffer in;
+  RingBuffer out;
+  size_t cursor = 0;  // next trace index of this connection's strided stream
+  std::deque<PendingReply> pending;
+  // Miss re-inserts to send before the cursor advances (RunTrace's
+  // set_on_miss executes before the next trace op; at depth 1 the order is
+  // identical, at higher depths the re-insert goes out at the next refill).
+  std::deque<uint64_t> priority_set_keys;
+  bool closed = false;
+  uint32_t events = 0;  // epoll interest currently installed
+};
+
+// Blocking loopback connect, then switch to nonblocking for the event loop.
+int ConnectTo(const std::string& host, uint16_t port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "invalid host '" + host + "'";
+    ::close(fd);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  return fd;
+}
+
+class Loadgen {
+ public:
+  Loadgen(const workload::Trace& trace, const LoadgenOptions& options)
+      : trace_(trace), options_(options) {
+    // The replay engines' deterministic per-key value sizing, reused so a
+    // served replay stores byte-for-byte equally sized objects.
+    value_rule_.value_bytes = options.value_bytes;
+    value_rule_.value_bytes_max = options.value_bytes_max;
+    value_.assign(std::max(options.value_bytes, options.value_bytes_max), 'v');
+  }
+
+  LoadgenResult Run();
+
+ private:
+  void EnqueueGet(Conn* conn, uint64_t key, CmdKind kind);
+  void EnqueueSet(Conn* conn, uint64_t key, CmdKind kind);
+  void EnqueueTraceOp(Conn* conn, const workload::Request& req);
+  // Tops the connection's pipeline up to `depth` in-flight commands.
+  void Refill(Conn* conn);
+  // Parses every complete reply, accounting it against the pending queue.
+  bool DrainReplies(Conn* conn);
+  bool FlushOutput(Conn* conn);
+  void UpdateInterest(Conn* conn);
+  void CloseConn(Conn* conn);
+  bool ConnFinished(const Conn& conn) const {
+    return conn.cursor >= trace_.size() && conn.pending.empty() &&
+           conn.priority_set_keys.empty();
+  }
+
+  const workload::Trace& trace_;
+  const LoadgenOptions& options_;
+  sim::RunOptions value_rule_;
+  std::string value_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+  int epoll_fd_ = -1;
+  size_t live_ = 0;
+  LoadgenResult result_;
+  Histogram hist_;
+  std::vector<RespReply> elems_;
+};
+
+void Loadgen::EnqueueGet(Conn* conn, uint64_t key, CmdKind kind) {
+  workload::KeyBuf buf;
+  AppendCommand(&conn->out, {"GET", workload::FormatKey(key, &buf)});
+  conn->pending.push_back({kind, key, NowNs()});
+}
+
+void Loadgen::EnqueueSet(Conn* conn, uint64_t key, CmdKind kind) {
+  workload::KeyBuf buf;
+  const std::string_view val(value_.data(), value_rule_.ValueBytesFor(key));
+  AppendCommand(&conn->out, {"SET", workload::FormatKey(key, &buf), val});
+  conn->pending.push_back({kind, key, NowNs()});
+}
+
+void Loadgen::EnqueueTraceOp(Conn* conn, const workload::Request& req) {
+  workload::KeyBuf buf;
+  char ttl[24];
+  switch (req.op) {
+    case workload::Op::kGet:
+    case workload::Op::kMultiGet:
+      EnqueueGet(conn, req.key, CmdKind::kGet);
+      return;
+    case workload::Op::kUpdate:
+    case workload::Op::kInsert:
+      EnqueueSet(conn, req.key, CmdKind::kSet);
+      return;
+    case workload::Op::kDelete:
+      AppendCommand(&conn->out, {"DEL", workload::FormatKey(req.key, &buf)});
+      conn->pending.push_back({CmdKind::kDelete, req.key, NowNs()});
+      return;
+    case workload::Op::kExpire: {
+      const int n = std::snprintf(ttl, sizeof(ttl), "%llu",
+                                  static_cast<unsigned long long>(options_.expire_ttl_ticks));
+      AppendCommand(&conn->out, {"EXPIRE", workload::FormatKey(req.key, &buf),
+                                 std::string_view(ttl, static_cast<size_t>(n))});
+      conn->pending.push_back({CmdKind::kExpire, req.key, NowNs()});
+      return;
+    }
+  }
+}
+
+void Loadgen::Refill(Conn* conn) {
+  const size_t depth = static_cast<size_t>(std::max(options_.depth, 1));
+  const size_t stride = conns_.size();
+  while (conn->pending.size() < depth) {
+    if (!conn->priority_set_keys.empty()) {
+      EnqueueSet(conn, conn->priority_set_keys.front(), CmdKind::kMissSet);
+      conn->priority_set_keys.pop_front();
+      continue;
+    }
+    if (conn->cursor >= trace_.size()) {
+      break;
+    }
+    EnqueueTraceOp(conn, trace_[conn->cursor]);
+    conn->cursor += stride;
+  }
+}
+
+bool Loadgen::DrainReplies(Conn* conn) {
+  while (true) {
+    RespReply reply;
+    elems_.clear();
+    std::string error;
+    const ParseStatus status = ParseReply(&conn->in, &reply, &elems_, &error);
+    if (status == ParseStatus::kNeedMore) {
+      return true;
+    }
+    if (status == ParseStatus::kError) {
+      result_.error = "reply parse error: " + error;
+      return false;
+    }
+    if (conn->pending.empty()) {
+      result_.error = "unsolicited reply from server";
+      return false;
+    }
+    const PendingReply pending = conn->pending.front();
+    conn->pending.pop_front();
+
+    const bool is_shed = reply.type == RespReply::Type::kError &&
+                         reply.text.substr(0, 8) == "LOADSHED";
+    const bool is_error = reply.type == RespReply::Type::kError && !is_shed;
+    result_.shed += is_shed ? 1 : 0;
+    result_.errors += is_error ? 1 : 0;
+
+    // Trace requests count toward ops and the latency histogram; the miss
+    // re-insert is policy traffic, mirroring RunTrace (where a miss's Set is
+    // not an extra trace op).
+    if (pending.kind != CmdKind::kMissSet) {
+      result_.ops++;
+      hist_.RecordNs(NowNs() - pending.send_ns);
+    }
+    switch (pending.kind) {
+      case CmdKind::kGet:
+        if (is_shed || is_error) {
+          break;
+        }
+        result_.gets++;
+        if (reply.type == RespReply::Type::kBulk) {
+          result_.hits++;
+        } else {
+          result_.misses++;
+          if (options_.set_on_miss) {
+            conn->priority_set_keys.push_back(pending.key);
+          }
+        }
+        break;
+      case CmdKind::kSet:
+      case CmdKind::kMissSet:
+        if (!is_shed && !is_error) {
+          result_.sets++;
+        }
+        break;
+      case CmdKind::kDelete:
+        if (!is_shed && !is_error) {
+          result_.deletes++;
+        }
+        break;
+      case CmdKind::kExpire:
+        if (!is_shed && !is_error) {
+          result_.expires++;
+        }
+        break;
+    }
+  }
+}
+
+bool Loadgen::FlushOutput(Conn* conn) {
+  RingBuffer& out = conn->out;
+  while (!out.empty()) {
+    const ssize_t n = ::write(conn->fd, out.data(), out.size());
+    if (n > 0) {
+      out.Consume(static_cast<size_t>(n));
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
+      return true;
+    }
+    result_.error = std::string("write: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+void Loadgen::UpdateInterest(Conn* conn) {
+  const uint32_t want = (conn->pending.empty() ? 0 : EPOLLIN) |
+                        (conn->out.empty() ? 0 : EPOLLOUT);
+  if (want == conn->events) {
+    return;
+  }
+  conn->events = want;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.ptr = conn;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+}
+
+void Loadgen::CloseConn(Conn* conn) {
+  if (conn->closed) {
+    return;
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conn->closed = true;
+  --live_;
+}
+
+LoadgenResult Loadgen::Run() {
+  const int num_conns = std::max(options_.connections, 1);
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    result_.error = std::string("epoll_create1: ") + std::strerror(errno);
+    return result_;
+  }
+  for (int c = 0; c < num_conns; ++c) {
+    auto conn = std::make_unique<Conn>();
+    conn->fd = ConnectTo(options_.host, options_.port, &result_.error);
+    if (conn->fd < 0) {
+      for (auto& open : conns_) {
+        CloseConn(open.get());
+      }
+      ::close(epoll_fd_);
+      return result_;
+    }
+    conn->cursor = static_cast<size_t>(c);
+    epoll_event ev{};
+    ev.events = 0;
+    ev.data.ptr = conn.get();
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn->fd, &ev);
+    conns_.push_back(std::move(conn));
+  }
+  live_ = conns_.size();
+
+  const uint64_t begin_ns = NowNs();
+  for (auto& conn : conns_) {
+    Refill(conn.get());
+    if (!FlushOutput(conn.get())) {
+      break;
+    }
+    if (ConnFinished(*conn)) {
+      CloseConn(conn.get());  // empty stream (more connections than requests)
+    } else {
+      UpdateInterest(conn.get());
+    }
+  }
+
+  epoll_event events[64];
+  uint64_t last_progress_ns = NowNs();
+  while (live_ > 0 && result_.error.empty()) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, 200);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      result_.error = std::string("epoll_wait: ") + std::strerror(errno);
+      break;
+    }
+    if (n == 0) {
+      if (NowNs() - last_progress_ns >
+          static_cast<uint64_t>(options_.idle_timeout_ms) * 1000000ULL) {
+        result_.error = "server made no progress within idle timeout";
+        break;
+      }
+      continue;
+    }
+    last_progress_ns = NowNs();
+    for (int i = 0; i < n; ++i) {
+      Conn* conn = static_cast<Conn*>(events[i].data.ptr);
+      if (conn->closed) {
+        continue;
+      }
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        result_.error = "server closed the connection mid-replay";
+        CloseConn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        while (true) {
+          char* dst = conn->in.Reserve(16 << 10);
+          const ssize_t r = ::read(conn->fd, dst, 16 << 10);
+          if (r > 0) {
+            conn->in.Commit(static_cast<size_t>(r));
+            if (r < (16 << 10)) {
+              break;
+            }
+            continue;
+          }
+          if (r == 0) {
+            result_.error = "server closed the connection mid-replay";
+            CloseConn(conn);
+          } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+            result_.error = std::string("read: ") + std::strerror(errno);
+            CloseConn(conn);
+          }
+          break;
+        }
+        if (conn->closed) {
+          continue;
+        }
+        if (!DrainReplies(conn)) {
+          CloseConn(conn);
+          continue;
+        }
+        Refill(conn);
+      }
+      if (!FlushOutput(conn)) {
+        CloseConn(conn);
+        continue;
+      }
+      if (ConnFinished(*conn)) {
+        CloseConn(conn);
+        continue;
+      }
+      UpdateInterest(conn);
+    }
+  }
+
+  const uint64_t end_ns = NowNs();
+  for (auto& conn : conns_) {
+    CloseConn(conn.get());
+  }
+  ::close(epoll_fd_);
+
+  result_.wall_s = static_cast<double>(end_ns - begin_ns) / 1e9;
+  result_.qps = result_.wall_s > 0.0 ? static_cast<double>(result_.ops) / result_.wall_s : 0.0;
+  result_.p50_us = hist_.PercentileUs(50);
+  result_.p99_us = hist_.PercentileUs(99);
+  result_.ok = result_.error.empty();
+  return result_;
+}
+
+}  // namespace
+
+LoadgenResult RunLoadgen(const workload::Trace& trace, const LoadgenOptions& options) {
+  return Loadgen(trace, options).Run();
+}
+
+}  // namespace ditto::net

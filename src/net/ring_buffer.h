@@ -1,0 +1,86 @@
+// A contiguous byte buffer with separate read/write cursors, used as the
+// per-connection input and output staging area of the network front end.
+//
+// Unlike a classic circular ring, the readable region is always one
+// contiguous span, so the RESP parser can hand out zero-copy
+// std::string_view arguments aliasing the buffer. Consume() only advances
+// the read cursor — it never moves memory — so views taken from the
+// readable region stay valid until the next Reserve() (which may compact
+// the buffer to reclaim consumed bytes) or Clear(). The protocol layer
+// exploits this: it parses a whole pipelined batch of commands (consuming
+// each frame as it goes), executes them against views into the buffer, and
+// only then reads from the socket again.
+#ifndef DITTO_NET_RING_BUFFER_H_
+#define DITTO_NET_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <vector>
+
+namespace ditto::net {
+
+class RingBuffer {
+ public:
+  explicit RingBuffer(size_t initial_capacity = 4096) { buf_.resize(initial_capacity); }
+
+  // Readable region (bytes written but not yet consumed).
+  const char* data() const { return buf_.data() + read_; }
+  size_t size() const { return write_ - read_; }
+  bool empty() const { return read_ == write_; }
+  std::string_view view() const { return std::string_view(data(), size()); }
+
+  // Advances the read cursor past `n` consumed bytes. Never moves memory,
+  // so previously returned views remain valid.
+  void Consume(size_t n) {
+    read_ += n;
+    if (read_ == write_) {
+      read_ = write_ = 0;  // cheap reset: nothing readable, nothing aliased
+    }
+  }
+
+  // Returns a writable span of at least `n` bytes past the current write
+  // cursor, compacting consumed bytes to the front (and growing the backing
+  // store) as needed. Invalidates views into the readable region when it
+  // compacts or grows, so call it only between parse batches.
+  char* Reserve(size_t n) {
+    if (buf_.size() - write_ < n) {
+      if (read_ > 0) {
+        std::memmove(buf_.data(), buf_.data() + read_, size());
+        write_ -= read_;
+        read_ = 0;
+      }
+      if (buf_.size() - write_ < n) {
+        size_t target = buf_.size() * 2;
+        while (target - write_ < n) {
+          target *= 2;
+        }
+        buf_.resize(target);
+      }
+    }
+    return buf_.data() + write_;
+  }
+
+  // Marks `n` bytes written through the last Reserve() span as readable.
+  void Commit(size_t n) { write_ += n; }
+
+  // Appends `bytes`, reserving as needed.
+  void Append(std::string_view bytes) {
+    char* dst = Reserve(bytes.size());
+    std::memcpy(dst, bytes.data(), bytes.size());
+    Commit(bytes.size());
+  }
+
+  void Clear() { read_ = write_ = 0; }
+
+  size_t capacity() const { return buf_.size(); }
+
+ private:
+  std::vector<char> buf_;
+  size_t read_ = 0;
+  size_t write_ = 0;
+};
+
+}  // namespace ditto::net
+
+#endif  // DITTO_NET_RING_BUFFER_H_

@@ -1,0 +1,414 @@
+// End-to-end tests of the RESP front end over real loopback sockets.
+//
+// The load-bearing test is replay fidelity: a trace replayed through
+// ditto_server's network path (net::Server + net::RunLoadgen, one connection
+// at depth 1) must produce hit rates, verb counts, and NIC message counts
+// identical to the in-process sim::RunTrace of the same trace on an
+// identical deployment. The rest pins the overload contract: connections
+// past max_conns are answered `-ERR max connections reached` and closed,
+// commands past the shed watermark are answered `-LOADSHED` (never stalled
+// or crashed), malformed frames get a RESP error and a close, and QUIT
+// closes after the flush. Runs in the ASan/TSan CI matrix.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ditto_client.h"
+#include "dm/pool.h"
+#include "net/loadgen.h"
+#include "net/resp.h"
+#include "net/ring_buffer.h"
+#include "net/server.h"
+#include "sim/adapters.h"
+#include "sim/runner.h"
+#include "workloads/trace.h"
+#include "workloads/ycsb.h"
+
+namespace ditto {
+namespace {
+
+dm::PoolConfig TestPool(uint64_t capacity_objects) {
+  dm::PoolConfig config;
+  config.memory_bytes = 32 << 20;
+  config.num_buckets = 1024;
+  config.capacity_objects = capacity_objects;
+  config.cost = rdma::CostModel::Disabled();
+  return config;
+}
+
+// One pool + server + n clients, one client per reactor.
+struct Deployment {
+  Deployment(const dm::PoolConfig& pool_config, core::DittoConfig config, int num_clients)
+      : pool(pool_config), server(&pool, config) {
+    config.validate_inserts = config.validate_inserts || num_clients > 1;
+    for (int i = 0; i < num_clients; ++i) {
+      ctxs.push_back(std::make_unique<rdma::ClientContext>(static_cast<uint32_t>(i)));
+      clients.push_back(
+          std::make_unique<sim::DittoCacheClient>(&pool, ctxs.back().get(), config));
+      raw.push_back(clients.back().get());
+    }
+  }
+
+  dm::MemoryPool pool;
+  core::DittoServer server;
+  std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+  std::vector<std::unique_ptr<sim::DittoCacheClient>> clients;
+  std::vector<sim::CacheClient*> raw;
+};
+
+workload::Trace TestTrace(uint64_t requests) {
+  workload::YcsbConfig ycsb;
+  ycsb.workload = 'A';
+  ycsb.num_keys = 2048;
+  ycsb.zipf_theta = 0.99;
+  workload::Trace trace = workload::MakeYcsbTrace(ycsb, requests, /*seed=*/42);
+  // Exercise DEL and EXPIRE on the wire too (MultiGet stays out: the
+  // in-process engine fuses adjacent MultiGets into pipelined runs, which
+  // the one-command-at-a-time wire protocol intentionally does not).
+  workload::OpMix mix;
+  mix.delete_fraction = 0.05;
+  mix.expire_fraction = 0.05;
+  workload::ApplyOpMix(&trace, mix);
+  return trace;
+}
+
+// Blocking loopback connection with a receive timeout, for the raw-socket
+// overload tests.
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  ~RawConn() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  bool ok() const { return fd_ >= 0; }
+
+  bool Send(std::string_view bytes) {
+    while (!bytes.empty()) {
+      const ssize_t n = ::write(fd_, bytes.data(), bytes.size());
+      if (n <= 0) {
+        return false;
+      }
+      bytes.remove_prefix(static_cast<size_t>(n));
+    }
+    return true;
+  }
+
+  // Reads `count` complete replies, returning each as its raw first line
+  // rendering ("+PONG", "-LOADSHED ...", ":3", "$value", "(nil)", "*2").
+  std::vector<std::string> ReadReplies(size_t count) {
+    std::vector<std::string> out;
+    std::string error;
+    while (out.size() < count) {
+      net::RespReply reply;
+      std::vector<net::RespReply> elems;
+      const net::ParseStatus st = net::ParseReply(&in_, &reply, &elems, &error);
+      if (st == net::ParseStatus::kOk) {
+        out.push_back(Render(reply));
+        continue;
+      }
+      if (st == net::ParseStatus::kError || !FillFromSocket()) {
+        break;
+      }
+    }
+    return out;
+  }
+
+  // Reads until the peer closes; returns everything received.
+  std::string ReadUntilEof() {
+    std::string out(in_.view());
+    in_.Clear();
+    char buf[4096];
+    while (true) {
+      const ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        break;
+      }
+      out.append(buf, static_cast<size_t>(n));
+    }
+    return out;
+  }
+
+ private:
+  static std::string Render(const net::RespReply& reply) {
+    switch (reply.type) {
+      case net::RespReply::Type::kSimple:
+        return "+" + std::string(reply.text);
+      case net::RespReply::Type::kError:
+        return "-" + std::string(reply.text);
+      case net::RespReply::Type::kInteger:
+        return ":" + std::to_string(reply.integer);
+      case net::RespReply::Type::kBulk:
+        return "$" + std::string(reply.text);
+      case net::RespReply::Type::kNil:
+        return "(nil)";
+      case net::RespReply::Type::kArray:
+        return "*" + std::to_string(reply.count);
+    }
+    return "?";
+  }
+
+  bool FillFromSocket() {
+    char* dst = in_.Reserve(4096);
+    const ssize_t n = ::read(fd_, dst, 4096);
+    if (n <= 0) {
+      return false;
+    }
+    in_.Commit(static_cast<size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  net::RingBuffer in_;
+};
+
+// A trace served over the socket path must be indistinguishable — hit for
+// hit, verb for verb, NIC message for NIC message — from the in-process
+// replay of the same trace on an identical deployment.
+TEST(ServerFidelityTest, ServedReplayMatchesInProcessRunTrace) {
+  const workload::Trace trace = TestTrace(20000);
+  core::DittoConfig config;
+  config.experts = {"lru", "lfu"};
+  constexpr size_t kValueBytes = 64;
+  constexpr uint64_t kTtlTicks = 64;
+
+  // In-process side.
+  Deployment in_process(TestPool(512), config, 1);
+  sim::RunOptions options;
+  options.value_bytes = kValueBytes;
+  options.expire_ttl_ticks = kTtlTicks;
+  const sim::RunResult expected =
+      sim::RunTrace(in_process.raw, trace, &in_process.pool.node(), options);
+
+  // Served side: fresh deployment, one reactor, one connection at depth 1
+  // (both sides then execute the trace in its original order).
+  Deployment served(TestPool(512), config, 1);
+  served.raw[0]->ResetForMeasurement();
+  const uint64_t nic_before = served.pool.node().nic().messages();
+  net::Server server(served.raw, net::ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  net::LoadgenOptions lg;
+  lg.port = server.port();
+  lg.connections = 1;
+  lg.depth = 1;
+  lg.value_bytes = kValueBytes;
+  lg.expire_ttl_ticks = kTtlTicks;
+  const net::LoadgenResult r = net::RunLoadgen(trace, lg);
+  server.Stop();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.shed, 0u);
+  EXPECT_EQ(r.ops, trace.size());
+
+  // Wire-observed counts match the in-process result...
+  EXPECT_EQ(r.gets, expected.gets);
+  EXPECT_EQ(r.hits, expected.hits);
+  EXPECT_EQ(r.misses, expected.misses);
+  EXPECT_EQ(r.sets, expected.sets);
+  // The wire counts DEL round trips; the client counts successful deletions.
+  size_t trace_deletes = 0;
+  for (const workload::Request& req : trace) {
+    trace_deletes += req.op == workload::Op::kDelete ? 1 : 0;
+  }
+  EXPECT_EQ(r.deletes, trace_deletes);
+
+  // ...and so do the cache client's own counters and the NIC message count
+  // (the strongest equivalence: the server issued the identical verbs).
+  const sim::ClientCounters counters = served.raw[0]->counters();
+  EXPECT_EQ(counters.gets, expected.gets);
+  EXPECT_EQ(counters.hits, expected.hits);
+  EXPECT_EQ(counters.misses, expected.misses);
+  EXPECT_EQ(counters.sets, expected.sets);
+  EXPECT_EQ(counters.deletes, expected.deletes);
+  EXPECT_EQ(counters.evictions, expected.evictions);
+  EXPECT_EQ(counters.expired, expected.expired);
+  EXPECT_EQ(served.pool.node().nic().messages() - nic_before, expected.nic_messages);
+}
+
+// More connections and reactors still serve every request exactly once
+// (counts sum correctly on the wire even though the interleaving differs).
+TEST(ServerFidelityTest, MultiConnectionReplayServesEveryRequest) {
+  const workload::Trace trace = TestTrace(20000);
+  core::DittoConfig config;
+  config.experts = {"lru", "lfu"};
+  config.validate_inserts = true;
+  Deployment d(TestPool(512), config, 2);
+  net::Server server(d.raw, net::ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  net::LoadgenOptions lg;
+  lg.port = server.port();
+  lg.connections = 8;
+  lg.depth = 4;
+  lg.value_bytes = 64;
+  const net::LoadgenResult r = net::RunLoadgen(trace, lg);
+  server.Stop();
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.ops, trace.size());
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.hits, 0u);
+  EXPECT_GT(r.qps, 0.0);
+
+  const net::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 8u);
+  EXPECT_EQ(stats.live_conns, 0u);
+  EXPECT_GE(stats.commands, trace.size());
+}
+
+TEST(ServerOverloadTest, ConnCapAnswersErrorAndCloses) {
+  core::DittoConfig config;
+  Deployment d(TestPool(256), config, 1);
+  net::ServerOptions options;
+  options.max_conns = 2;
+  net::Server server(d.raw, options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  RawConn first(server.port());
+  RawConn second(server.port());
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // A round trip on each guarantees both are admitted before the third
+  // connection arrives.
+  ASSERT_TRUE(first.Send("PING\r\n"));
+  ASSERT_TRUE(second.Send("PING\r\n"));
+  EXPECT_EQ(first.ReadReplies(1), std::vector<std::string>{"+PONG"});
+  EXPECT_EQ(second.ReadReplies(1), std::vector<std::string>{"+PONG"});
+
+  RawConn third(server.port());
+  ASSERT_TRUE(third.ok());  // TCP accept succeeds; rejection is in-protocol
+  const std::string rejection = third.ReadUntilEof();
+  EXPECT_EQ(rejection, "-ERR max connections reached\r\n");
+
+  // The admitted connections keep working.
+  ASSERT_TRUE(first.Send("PING\r\n"));
+  EXPECT_EQ(first.ReadReplies(1), std::vector<std::string>{"+PONG"});
+  EXPECT_GE(server.stats().rejected_conns, 1u);
+  server.Stop();
+}
+
+TEST(ServerOverloadTest, ShedWatermarkAnswersLoadshedNotStall) {
+  core::DittoConfig config;
+  Deployment d(TestPool(256), config, 1);
+  net::ServerOptions options;
+  options.shed_watermark = 4;
+  net::Server server(d.raw, options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  // One write of 256 pipelined GETs: only the watermark's worth of each
+  // arriving batch may execute; the rest must be answered (with -LOADSHED),
+  // never dropped or stalled.
+  std::string burst;
+  for (int i = 0; i < 256; ++i) {
+    burst += "GET key" + std::to_string(i) + "\r\n";
+  }
+  ASSERT_TRUE(conn.Send(burst));
+  const std::vector<std::string> replies = conn.ReadReplies(256);
+  ASSERT_EQ(replies.size(), 256u);
+  size_t served = 0;
+  size_t shed = 0;
+  for (const std::string& reply : replies) {
+    if (reply == "(nil)" || reply[0] == '$') {
+      ++served;
+    } else if (reply.rfind("-LOADSHED", 0) == 0) {
+      ++shed;
+    } else {
+      FAIL() << "unexpected reply: " << reply;
+    }
+  }
+  EXPECT_EQ(served + shed, 256u);
+  EXPECT_GT(shed, 0u);  // 256 commands cannot all fit under watermark 4
+  EXPECT_GT(served, 0u);
+  EXPECT_EQ(server.stats().shed_ops, shed);
+
+  // The connection is still healthy after shedding.
+  ASSERT_TRUE(conn.Send("PING\r\n"));
+  EXPECT_EQ(conn.ReadReplies(1), std::vector<std::string>{"+PONG"});
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, MalformedFrameGetsErrorThenClose) {
+  core::DittoConfig config;
+  Deployment d(TestPool(256), config, 1);
+  net::Server server(d.raw, net::ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.Send("*2\r\n$4\r\nPING\r\n#bad\r\n"));
+  const std::string reply = conn.ReadUntilEof();  // error reply, then close
+  EXPECT_EQ(reply.rfind("-ERR Protocol error", 0), 0u) << reply;
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, QuitFlushesPipelinedRepliesThenCloses) {
+  core::DittoConfig config;
+  Deployment d(TestPool(256), config, 1);
+  net::Server server(d.raw, net::ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.Send("SET k v\r\nGET k\r\nQUIT\r\n"));
+  const std::string replies = conn.ReadUntilEof();
+  EXPECT_EQ(replies, "+OK\r\n$1\r\nv\r\n+OK\r\n");
+
+  RawConn again(server.port());
+  ASSERT_TRUE(again.ok());
+  ASSERT_TRUE(again.Send("GET k\r\n"));  // state survives the closed conn
+  EXPECT_EQ(again.ReadReplies(1), std::vector<std::string>{"$v"});
+  server.Stop();
+}
+
+TEST(ServerProtocolTest, UnknownCommandAndArityErrorsKeepConnectionOpen) {
+  core::DittoConfig config;
+  Deployment d(TestPool(256), config, 1);
+  net::Server server(d.raw, net::ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.Send("FLUSHALL\r\nGET\r\nPING\r\n"));
+  const std::vector<std::string> replies = conn.ReadReplies(3);
+  ASSERT_EQ(replies.size(), 3u);
+  EXPECT_EQ(replies[0].rfind("-ERR unknown command", 0), 0u) << replies[0];
+  EXPECT_EQ(replies[1].rfind("-ERR wrong number of arguments", 0), 0u) << replies[1];
+  EXPECT_EQ(replies[2], "+PONG");
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ditto
