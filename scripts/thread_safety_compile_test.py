@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Negative-compile test for the thread-safety annotations (ctest:
+`thread_safety_compile_test`).
+
+Verifies, with a real clang invocation, that the macros in
+src/common/thread_annotations.h actually gate anything: a well-locked
+snippet must compile under `-Wthread-safety -Werror=thread-safety`, and an
+unguarded access to a GUARDED_BY field must NOT. This catches the silent
+failure mode where the macros get stubbed out (or the CI leg loses the
+warning flags) and the whole analysis becomes a no-op.
+
+Exit codes: 0 = both outcomes as expected, 77 = no clang++ on PATH (ctest
+records a skip; the clang CI leg runs it for real), 1 = the gate is broken.
+"""
+
+import argparse
+import pathlib
+import shutil
+import subprocess
+import sys
+import tempfile
+
+GOOD = """
+#include "common/thread_annotations.h"
+
+class Counter {
+ public:
+  void Add(int x) {
+    ditto::MutexLock lock(&mu_);
+    total_ += x;
+  }
+  int total() const {
+    ditto::MutexLock lock(&mu_);
+    return total_;
+  }
+
+ private:
+  mutable ditto::Mutex mu_;
+  int total_ GUARDED_BY(mu_) = 0;
+};
+
+int main() {
+  Counter c;
+  c.Add(1);
+  return c.total() == 1 ? 0 : 1;
+}
+"""
+
+# Identical, except total() forgets the lock: must fail to compile.
+BAD = GOOD.replace(
+    """  int total() const {
+    ditto::MutexLock lock(&mu_);
+    return total_;
+  }""",
+    """  int total() const {
+    return total_;  // unguarded read of a GUARDED_BY field
+  }""")
+
+
+def compile_snippet(clang, src_dir, code, workdir):
+    source = workdir / "snippet.cc"
+    source.write_text(code)
+    return subprocess.run(
+        [clang, "-std=c++20", "-fsyntax-only", "-I", str(src_dir),
+         "-Wthread-safety", "-Werror=thread-safety", str(source)],
+        capture_output=True, text=True)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--src", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve().parent.parent / "src",
+                        help="include root containing common/thread_annotations.h")
+    parser.add_argument("--clang", default=None,
+                        help="clang++ binary (default: first of clang++, clang++-18..14)")
+    args = parser.parse_args()
+
+    candidates = ([args.clang] if args.clang else
+                  ["clang++"] + [f"clang++-{v}" for v in range(18, 13, -1)])
+    clang = next((c for c in candidates if c and shutil.which(c)), None)
+    if clang is None:
+        print("SKIP: no clang++ on PATH (thread-safety analysis is clang-only)")
+        return 77
+
+    with tempfile.TemporaryDirectory(prefix="ditto_tsa_") as tmp:
+        workdir = pathlib.Path(tmp)
+        good = compile_snippet(clang, args.src, GOOD, workdir)
+        if good.returncode != 0:
+            print("FAIL: the well-locked snippet did not compile:")
+            print(good.stderr)
+            return 1
+        bad = compile_snippet(clang, args.src, BAD, workdir)
+        if bad.returncode == 0:
+            print("FAIL: unguarded GUARDED_BY access compiled clean — the "
+                  "thread-safety gate is a no-op (stubbed macros or lost flags?)")
+            return 1
+        if "-Wthread-safety" not in bad.stderr and "thread-safety" not in bad.stderr:
+            print("FAIL: the bad snippet failed for an unrelated reason:")
+            print(bad.stderr)
+            return 1
+
+    print(f"OK: {clang} accepts guarded access and rejects unguarded access")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -56,12 +56,12 @@ CliqueMapServer::CliqueMapServer(dm::MemoryPool* pool, const CliqueMapConfig& co
 }
 
 uint64_t CliqueMapServer::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return index_.size();
 }
 
 uint64_t CliqueMapServer::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return capacity_;
 }
 
@@ -74,7 +74,7 @@ std::string CliqueMapServer::HandleResize(std::string_view request) {
   if (capacity == 0) {
     return SetResponse(false, 0);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   capacity_ = capacity;
   uint64_t evictions = 0;
   while (index_.size() > capacity_) {
@@ -132,14 +132,25 @@ void CliqueMapServer::EvictOneLocked() {
 }
 
 std::string CliqueMapServer::HandleSet(std::string_view request) {
+  // Validate the payload size before decoding: the fixed header must be
+  // whole (the unchecked memcpy here was an out-of-bounds read for short
+  // payloads) and the declared key/value lengths must match the bytes that
+  // actually arrived — a header promising more than the payload holds would
+  // otherwise silently cache a truncated object.
+  if (request.size() < sizeof(SetRequestHeader)) {
+    return SetResponse(false, 0);
+  }
   SetRequestHeader header;
   std::memcpy(&header, request.data(), sizeof(header));
+  if (request.size() != sizeof(header) + header.key_len + header.val_len) {
+    return SetResponse(false, 0);
+  }
   const std::string_view key = request.substr(sizeof(header), header.key_len);
   const std::string_view value = request.substr(sizeof(header) + header.key_len, header.val_len);
   const uint64_t hash = HashKey(key);
   const uint8_t fp = Fingerprint(hash);
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const int blocks = core::ObjectBlocks(key.size(), value.size(), 0);
   auto it = index_.find(hash);
   if (it != index_.end()) {
@@ -181,7 +192,7 @@ std::string CliqueMapServer::HandleSet(std::string_view request) {
 
 std::string CliqueMapServer::HandleDelete(std::string_view request) {
   const uint64_t hash = HashKey(request);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (index_.count(hash) == 0) {
     return std::string(1, '\0');
   }
@@ -190,12 +201,17 @@ std::string CliqueMapServer::HandleDelete(std::string_view request) {
 }
 
 std::string CliqueMapServer::HandleExpire(std::string_view request) {
-  // Request: expiry_tick u64 + key bytes.
+  // Request: expiry_tick u64 + key bytes. A payload shorter than the expiry
+  // word is malformed (the unchecked memcpy read out of bounds and the
+  // substr(8) below threw std::out_of_range, taking the whole server down).
+  if (request.size() < 8) {
+    return std::string(1, '\0');
+  }
   uint64_t expiry = 0;
   std::memcpy(&expiry, request.data(), 8);
   const std::string_view key = request.substr(8);
   const uint64_t hash = HashKey(key);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   const auto it = index_.find(hash);
   if (it == index_.end()) {
     return std::string(1, '\0');
@@ -265,8 +281,13 @@ std::string CliqueMapServer::FinishInsertLocked(uint64_t addr, std::string_view 
 }
 
 std::string CliqueMapServer::HandleSync(std::string_view request) {
-  // Request: repeated {hash u64, count u64}.
-  std::lock_guard<std::mutex> lock(mu_);
+  // Request: repeated {hash u64, count u64}. Validate the size before
+  // decoding: a ragged payload means the client and server disagree about
+  // the record layout, so reject it instead of merging a truncated prefix.
+  if (request.size() % 16 != 0) {
+    return std::string(1, '\0');
+  }
+  MutexLock lock(&mu_);
   const size_t entries = request.size() / 16;
   for (size_t i = 0; i < entries; ++i) {
     uint64_t hash;

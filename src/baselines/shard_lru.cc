@@ -70,7 +70,7 @@ void ShardLruClient::WithShardLock(uint64_t hash, const std::function<void()>& b
   }
 
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     body();
   }
 
@@ -97,6 +97,7 @@ bool ShardLruClient::RemoveEntry(uint64_t hash) {
   bool removed = false;
   WithShardLock(hash, [this, hash, &removed] {
     auto& shard = *dir_->shards_[hash % dir_->config_.num_shards];
+    shard.mu.AssertHeld();  // WithShardLock holds it around the body
     const auto it = shard.index.find(hash);
     if (it == shard.index.end()) {
       return;
@@ -117,6 +118,7 @@ bool ShardLruClient::EvictShardVictim(uint64_t shard_sel) {
   bool evicted = false;
   WithShardLock(shard_sel, [this, shard_sel, &evicted] {
     auto& shard = *dir_->shards_[shard_sel % dir_->config_.num_shards];
+    shard.mu.AssertHeld();  // WithShardLock holds it around the body
     if (shard.lru.size() == 0) {
       return;
     }
@@ -196,6 +198,7 @@ bool ShardLruClient::DoGet(std::string_view key, std::string* value) {
       WithShardLock(hash, [this, hash] {
         ChargeListSplice();
         auto& shard = *dir_->shards_[hash % dir_->config_.num_shards];
+        shard.mu.AssertHeld();  // WithShardLock holds it around the body
         if (shard.index.count(hash) > 0) {
           shard.lru.Touch(hash);
         }
@@ -329,6 +332,7 @@ bool ShardLruClient::DoSet(std::string_view key, std::string_view value, uint64_
       WithShardLock(hash, [this, hash, slot_addr, addr, blocks, found] {
         ChargeListSplice();
         auto& shard = *dir_->shards_[hash % dir_->config_.num_shards];
+        shard.mu.AssertHeld();  // WithShardLock holds it around the body
         shard.lru.Touch(hash);
         shard.index[hash] =
             ShardLruDirectory::Shard::Loc{slot_addr, addr, blocks};

@@ -20,10 +20,10 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "dm/allocator.h"
 #include "dm/pool.h"
 #include "hashtable/hash_table.h"
@@ -61,15 +61,19 @@ class ShardLruDirectory {
 
   struct Shard {
     rdma::QueueingServer lock_queue;
-    std::mutex mu;
-    policy::PreciseLru lru;
+    Mutex mu;
+    // The shadow LRU list and the location index are only consistent with
+    // the remote list while the shard lock is held; WithShardLock holds mu
+    // around its body, and the bodies state that fact with mu.AssertHeld()
+    // (the analysis cannot see through the std::function indirection).
+    policy::PreciseLru lru GUARDED_BY(mu);
     // hash -> {slot_addr, obj_addr, blocks} so evictions can clear the slot.
     struct Loc {
       uint64_t slot_addr;
       uint64_t obj_addr;
       int blocks;
     };
-    std::unordered_map<uint64_t, Loc> index;
+    std::unordered_map<uint64_t, Loc> index GUARDED_BY(mu);
   };
 
   ShardLruConfig config_;

@@ -75,7 +75,10 @@ void EncodeDoubles(const std::vector<double>& values, std::string* out) {
 // multiple of 8 is malformed (trailing bytes would be silently dropped), so
 // it decodes to an empty vector and callers treat it as a rejection.
 std::vector<double> DecodeDoubles(std::string_view in) {
-  if (in.size() % 8 != 0) {
+  // The empty check is not just an optimization: an empty payload (or view)
+  // can carry a null data(), and memcpy's arguments are attributed nonnull
+  // even for a zero-byte copy, so UBSan flags the unguarded call.
+  if (in.empty() || in.size() % 8 != 0) {
     return {};
   }
   std::vector<double> out(in.size() / 8);
@@ -94,8 +97,16 @@ AdaptiveController::AdaptiveController(dm::MemoryPool* pool, int num_experts)
 }
 
 void AdaptiveController::HandleUpdate(std::string_view request, std::string* response) {
+  // Validate the payload size before decoding: a length that is not a whole
+  // number of doubles is malformed on its face (DecodeDoubles would reject it
+  // too, but the linter pins the explicit pre-decode check).
+  if (request.size() % 8 != 0) {
+    MutexLock lock(&mu_);
+    rejected_++;
+    return;
+  }
   const std::vector<double> penalties = DecodeDoubles(request);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   // A malformed payload (trailing bytes, wrong expert count) is rejected with
   // an empty response and must not perturb the weights: a client speaking a
   // different expert configuration would otherwise silently skew everyone.
@@ -119,7 +130,7 @@ void AdaptiveController::HandleUpdate(std::string_view request, std::string* res
 }
 
 std::vector<double> AdaptiveController::weights() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return weights_;
 }
 

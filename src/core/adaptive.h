@@ -13,10 +13,10 @@
 
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/rand.h"
+#include "common/thread_annotations.h"
 #include "dm/pool.h"
 #include "rdma/verbs.h"
 
@@ -38,17 +38,25 @@ class AdaptiveController {
   AdaptiveController(dm::MemoryPool* pool, int num_experts);
 
   std::vector<double> weights() const;
-  uint64_t updates_received() const { return updates_; }
+  // The counters are written under mu_ by the RPC handler; unlocked reads
+  // here were a (benign-looking) race the thread-safety analysis flags.
+  uint64_t updates_received() const {
+    MutexLock lock(&mu_);
+    return updates_;
+  }
   // Malformed weight-update payloads rejected (wrong length, non-finite).
-  uint64_t updates_rejected() const { return rejected_; }
+  uint64_t updates_rejected() const {
+    MutexLock lock(&mu_);
+    return rejected_;
+  }
 
  private:
   void HandleUpdate(std::string_view request, std::string* response);
 
-  mutable std::mutex mu_;
-  std::vector<double> weights_;
-  uint64_t updates_ = 0;
-  uint64_t rejected_ = 0;
+  mutable Mutex mu_;
+  std::vector<double> weights_ GUARDED_BY(mu_);
+  uint64_t updates_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_ GUARDED_BY(mu_) = 0;
 };
 
 // Per-client adaptive state.

@@ -31,6 +31,7 @@
 #include <cstring>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "common/hash.h"
@@ -44,7 +45,9 @@ struct ObjectHeader {
   uint16_t key_len;
   uint16_t ext_words;
 };
-static_assert(sizeof(ObjectHeader) == 8);
+static_assert(std::is_trivially_copyable_v<ObjectHeader>,
+              "ObjectHeader is memcpy'd to/from the wire; it must stay trivially copyable");
+static_assert(sizeof(ObjectHeader) == 8, "ObjectHeader must match the 8-byte wire header");
 
 inline constexpr uint64_t kChecksumOff = sizeof(ObjectHeader);
 inline constexpr uint64_t kExpiryOff = kChecksumOff + 8;
@@ -83,8 +86,15 @@ inline void EncodeObject(std::string_view key, std::string_view value,
     std::memcpy(buf->data() + kExtWordsOff, ext, static_cast<size_t>(ext_words) * 8);
   }
   uint8_t* key_start = buf->data() + kExtWordsOff + static_cast<size_t>(ext_words) * 8;
-  std::memcpy(key_start, key.data(), key.size());
-  std::memcpy(key_start + key.size(), value.data(), value.size());
+  // Empty views may carry a null data() (a default-constructed string_view
+  // does); memcpy's pointer arguments are attributed nonnull even for n == 0,
+  // so UBSan flags the unguarded call.
+  if (!key.empty()) {
+    std::memcpy(key_start, key.data(), key.size());
+  }
+  if (!value.empty()) {
+    std::memcpy(key_start + key.size(), value.data(), value.size());
+  }
   const uint64_t checksum = ObjectChecksum(header, key_start, key.size() + value.size());
   std::memcpy(buf->data() + kChecksumOff, &checksum, 8);
 }

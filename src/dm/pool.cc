@@ -53,7 +53,7 @@ void MemoryPool::HandleAllocSegment(std::string_view request, std::string* respo
   }
   uint64_t granted = 0;
   {
-    std::lock_guard<std::mutex> lock(alloc_mu_);
+    MutexLock lock(&alloc_mu_);
     if (bump_ + want <= heap_addr_ + heap_bytes_) {
       granted = bump_;
       bump_ += want;

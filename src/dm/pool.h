@@ -24,9 +24,9 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "rdma/node.h"
 
 namespace ditto::dm {
@@ -120,8 +120,8 @@ class MemoryPool {
   rdma::RemoteNode node_;
   uint64_t heap_addr_;
   size_t heap_bytes_;
-  std::mutex alloc_mu_;
-  uint64_t bump_;  // next unallocated heap offset
+  Mutex alloc_mu_;
+  uint64_t bump_ GUARDED_BY(alloc_mu_);  // next unallocated heap offset
   std::atomic<uint64_t> segments_allocated_{0};
   LogicalClock clock_;
 };

@@ -20,6 +20,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 
 namespace ditto::ht {
 
@@ -65,6 +66,8 @@ struct SlotView {
 
 // SlotView mirrors the wire layout field-for-field, so a whole slot (or a
 // whole bucket) decodes with one memcpy from the READ scratch buffer.
+static_assert(std::is_trivially_copyable_v<SlotView>,
+              "SlotView is memcpy'd off the wire; it must stay trivially copyable");
 static_assert(sizeof(SlotView) == kSlotBytes, "SlotView must match the wire slot size");
 static_assert(offsetof(SlotView, atomic_word) == kAtomicOff &&
                   offsetof(SlotView, hash) == kHashOff &&
@@ -73,6 +76,7 @@ static_assert(offsetof(SlotView, atomic_word) == kAtomicOff &&
                   offsetof(SlotView, freq) == kFreqOff,
               "SlotView fields must sit at the wire offsets");
 
+// ditto-lint: hot-path-begin(slot-scan)
 // Branch-reduced object match, equivalent to
 //   slot.IsObject() && slot.fp() == fp && slot.hash == hash
 // but evaluated with flag arithmetic instead of short-circuit branches: a
@@ -96,6 +100,7 @@ inline int FindObjectSlot(const SlotView* slots, int from, int n, uint8_t fp, ui
   }
   return -1;
 }
+// ditto-lint: hot-path-end(slot-scan)
 
 }  // namespace ditto::ht
 

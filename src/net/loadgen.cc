@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "net/net_util.h"
 #include "net/resp.h"
 #include "net/ring_buffer.h"
 #include "sim/runner.h"
@@ -58,7 +59,7 @@ struct Conn {
 int ConnectTo(const std::string& host, uint16_t port, std::string* error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    *error = std::string("socket: ") + std::strerror(errno);
+    *error = std::string("socket: ") + net::ErrnoMessage(errno);
     return -1;
   }
   sockaddr_in addr{};
@@ -70,7 +71,7 @@ int ConnectTo(const std::string& host, uint16_t port, std::string* error) {
     return -1;
   }
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    *error = std::string("connect: ") + std::strerror(errno);
+    *error = std::string("connect: ") + net::ErrnoMessage(errno);
     ::close(fd);
     return -1;
   }
@@ -257,15 +258,15 @@ bool Loadgen::FlushOutput(Conn* conn) {
     if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) {
       return true;
     }
-    result_.error = std::string("write: ") + std::strerror(errno);
+    result_.error = std::string("write: ") + net::ErrnoMessage(errno);
     return false;
   }
   return true;
 }
 
 void Loadgen::UpdateInterest(Conn* conn) {
-  const uint32_t want = (conn->pending.empty() ? 0 : EPOLLIN) |
-                        (conn->out.empty() ? 0 : EPOLLOUT);
+  const uint32_t want = (conn->pending.empty() ? 0 : static_cast<uint32_t>(EPOLLIN)) |
+                        (conn->out.empty() ? 0 : static_cast<uint32_t>(EPOLLOUT));
   if (want == conn->events) {
     return;
   }
@@ -290,7 +291,7 @@ LoadgenResult Loadgen::Run() {
   const int num_conns = std::max(options_.connections, 1);
   epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
   if (epoll_fd_ < 0) {
-    result_.error = std::string("epoll_create1: ") + std::strerror(errno);
+    result_.error = std::string("epoll_create1: ") + net::ErrnoMessage(errno);
     return result_;
   }
   for (int c = 0; c < num_conns; ++c) {
@@ -333,7 +334,7 @@ LoadgenResult Loadgen::Run() {
       if (errno == EINTR) {
         continue;
       }
-      result_.error = std::string("epoll_wait: ") + std::strerror(errno);
+      result_.error = std::string("epoll_wait: ") + net::ErrnoMessage(errno);
       break;
     }
     if (n == 0) {
@@ -370,7 +371,7 @@ LoadgenResult Loadgen::Run() {
             result_.error = "server closed the connection mid-replay";
             CloseConn(conn);
           } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
-            result_.error = std::string("read: ") + std::strerror(errno);
+            result_.error = std::string("read: ") + net::ErrnoMessage(errno);
             CloseConn(conn);
           }
           break;

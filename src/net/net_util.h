@@ -1,0 +1,22 @@
+// Small shared helpers for the socket front end.
+#ifndef DITTO_NET_NET_UTIL_H_
+#define DITTO_NET_NET_UTIL_H_
+
+#include <string.h>
+
+#include <string>
+
+namespace ditto::net {
+
+// Thread-safe strerror: the reactor threads report errors concurrently, and
+// std::strerror's static buffer is a data race (clang-tidy concurrency-mt-unsafe).
+// glibc's GNU strerror_r either fills `buf` or returns a pointer to an
+// immutable table entry; both are safe to read from any thread.
+inline std::string ErrnoMessage(int err) {
+  char buf[128];
+  return std::string(strerror_r(err, buf, sizeof(buf)));
+}
+
+}  // namespace ditto::net
+
+#endif  // DITTO_NET_NET_UTIL_H_

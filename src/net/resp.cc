@@ -57,6 +57,10 @@ ParseStatus RespParser::Parse(RingBuffer* rb, RespCommand* cmd) {
   return status;
 }
 
+// ditto-lint: hot-path-begin(resp-parse)
+// The per-command decode loop: runs once per pipelined request on every
+// reactor thread. Steady-state parses must not allocate — args views alias
+// the ring and the args vector's capacity is reused across commands.
 ParseStatus RespParser::ParseOne(RingBuffer* rb, RespCommand* cmd) {
   cmd->args.clear();
   const std::string_view in = rb->view();
@@ -96,6 +100,7 @@ ParseStatus RespParser::ParseOne(RingBuffer* rb, RespCommand* cmd) {
           error_ = "ERR Protocol error: too many arguments";
           return ParseStatus::kError;
         }
+        // ditto-lint: allow(alloc): vector capacity is reused across commands
         cmd->args.push_back(in.substr(begin, i - begin));
       }
     }
@@ -125,6 +130,7 @@ ParseStatus RespParser::ParseOne(RingBuffer* rb, RespCommand* cmd) {
       return ParseStatus::kNeedMore;
     }
     if (in[pos] != '$') {
+      // ditto-lint: allow(alloc): cold protocol-error path; connection closes after
       error_ = "ERR Protocol error: expected '$', got '" + std::string(1, in[pos]) + "'";
       return ParseStatus::kError;
     }
@@ -150,12 +156,14 @@ ParseStatus RespParser::ParseOne(RingBuffer* rb, RespCommand* cmd) {
       error_ = "ERR Protocol error: bulk string not terminated by CRLF";
       return ParseStatus::kError;
     }
+    // ditto-lint: allow(alloc): vector capacity is reused across commands
     cmd->args.push_back(in.substr(pos, static_cast<size_t>(len)));
     pos += static_cast<size_t>(len) + 2;
   }
   rb->Consume(pos);
   return ParseStatus::kOk;  // "*0\r\n" yields empty args; Parse() skips it
 }
+// ditto-lint: hot-path-end(resp-parse)
 
 namespace {
 

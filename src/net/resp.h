@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "net/ring_buffer.h"
@@ -71,6 +72,12 @@ struct RespReply {
   int64_t integer = 0;    // kInteger value
   size_t count = 0;       // kArray element count
 };
+
+// RespReply is copied by value into the caller's elems vector on every array
+// reply (MGET fan-out); keep it a flat POD so that copy stays a memcpy.
+static_assert(std::is_trivially_copyable_v<RespReply>,
+              "RespReply is bulk-copied on the reply path; it must stay trivially copyable");
+static_assert(sizeof(RespReply) == 40, "RespReply grew; check the reply-path copy cost");
 
 // Parses one top-level reply from `rb`, consuming it on kOk. Array elements
 // (bulk/nil/integer only) are appended to `elems` when non-null; a nested

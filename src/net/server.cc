@@ -17,6 +17,7 @@
 #include <utility>
 
 #include "net/connection.h"
+#include "net/net_util.h"
 
 namespace ditto::net {
 
@@ -30,13 +31,13 @@ constexpr size_t kReadChunk = 16 << 10;
 int CreateListener(const std::string& host, uint16_t port, std::string* error) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    *error = std::string("socket: ") + std::strerror(errno);
+    *error = std::string("socket: ") + net::ErrnoMessage(errno);
     return -1;
   }
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
-    *error = std::string("setsockopt(SO_REUSEPORT): ") + std::strerror(errno);
+    *error = std::string("setsockopt(SO_REUSEPORT): ") + net::ErrnoMessage(errno);
     ::close(fd);
     return -1;
   }
@@ -49,12 +50,12 @@ int CreateListener(const std::string& host, uint16_t port, std::string* error) {
     return -1;
   }
   if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    *error = std::string("bind: ") + std::strerror(errno);
+    *error = std::string("bind: ") + net::ErrnoMessage(errno);
     ::close(fd);
     return -1;
   }
   if (::listen(fd, 511) != 0) {
-    *error = std::string("listen: ") + std::strerror(errno);
+    *error = std::string("listen: ") + net::ErrnoMessage(errno);
     ::close(fd);
     return -1;
   }
@@ -90,7 +91,7 @@ class Server::Reactor : public ConnectionHost {
     epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
     wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
     if (epoll_fd_ < 0 || wake_fd_ < 0) {
-      *error = std::string("epoll/eventfd: ") + std::strerror(errno);
+      *error = std::string("epoll/eventfd: ") + net::ErrnoMessage(errno);
       CloseFds();
       return false;
     }
@@ -297,7 +298,7 @@ class Server::Reactor : public ConnectionHost {
     } else {
       entry->paused = pending >= cap;
     }
-    uint32_t want = entry->paused || conn->closing() ? 0 : EPOLLIN;
+    uint32_t want = entry->paused || conn->closing() ? 0 : static_cast<uint32_t>(EPOLLIN);
     if (pending > 0) {
       want |= EPOLLOUT;
     }

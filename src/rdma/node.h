@@ -8,11 +8,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/clock.h"
+#include "common/thread_annotations.h"
 #include "common/histogram.h"
 #include "common/rand.h"
 #include "rdma/arena.h"
@@ -41,7 +41,7 @@ class RemoteNode {
   const CostModel& cost() const { return cost_; }
 
   void RegisterRpc(uint32_t id, RpcHandler handler) {
-    std::lock_guard<std::mutex> lock(rpc_mu_);
+    ditto::MutexLock lock(&rpc_mu_);
     handlers_[id] = std::move(handler);
   }
 
@@ -50,7 +50,7 @@ class RemoteNode {
   // detached into a copy first — clear()/handler writes below would
   // otherwise invalidate the request mid-dispatch.
   void DispatchRpc(uint32_t id, std::string_view request, std::string* response) {
-    std::lock_guard<std::mutex> lock(rpc_mu_);
+    ditto::MutexLock lock(&rpc_mu_);
     std::string detached;
     if (request.data() >= response->data() &&
         request.data() < response->data() + response->size()) {
@@ -66,8 +66,8 @@ class RemoteNode {
   MemoryArena arena_;
   NicModel nic_;
   CpuModel cpu_;
-  std::mutex rpc_mu_;
-  std::map<uint32_t, RpcHandler> handlers_;
+  ditto::Mutex rpc_mu_;
+  std::map<uint32_t, RpcHandler> handlers_ GUARDED_BY(rpc_mu_);
 };
 
 // Per-client-thread context. Not thread-safe; one instance per client thread.

@@ -151,11 +151,15 @@ class OpDispatcher {
         pipelined_(options.pipeline_depth > 1 || options.pipeline_force),
         phases_(schedule != nullptr ? schedule->num_phases() : 1) {}
 
+  // ditto-lint: hot-path-begin(op-dispatch)
+  // Dispatch and its helpers run once per trace request in every engine's
+  // replay loop; steady-state execution must not allocate (PR 4's invariant).
   void Dispatch(uint32_t index) {
     AdvancePhase(index);
     const workload::Request& req = trace_[index];
     const workload::Op op = workload::MixedOpAt(req.op, index, options_.op_mix);
     if (op == workload::Op::kMultiGet && options_.multiget_batch > 1) {
+      // ditto-lint: allow(alloc): vector capacity is reused across fused runs
       pending_.push_back(index);
       if (pending_.size() >= options_.multiget_batch) {
         Flush();
@@ -221,6 +225,7 @@ class OpDispatcher {
       (result.hit() ? phase.hits : phase.misses)++;
     }
     ctx.op_hist().RecordNs(complete_ns - start_ns);
+    // ditto-lint: allow(alloc): deque depth is bounded by pipeline_depth_
     inflight_.push_back(complete_ns);
   }
 
@@ -249,9 +254,11 @@ class OpDispatcher {
     const uint64_t begin_ns = ctx.clock().busy_ns();
     // Size the key storage before taking views into it: a later resize would
     // move the buffers the CacheOps alias.
+    // ditto-lint: allow(alloc): capacity is reused; bounded by multiget_batch
     mg_keys_.resize(idxs.size());
     mg_ops_.clear();
     for (size_t j = 0; j < idxs.size(); ++j) {
+      // ditto-lint: allow(alloc): vector capacity is reused across fused runs
       mg_ops_.push_back(CacheOp::MultiGet(workload::FormatKey(trace_[idxs[j]].key, &mg_keys_[j]),
                                           /*want_value=*/false));
     }
@@ -272,6 +279,7 @@ class OpDispatcher {
       ctx.op_hist().RecordNs(total_ns / idxs.size());
     }
   }
+  // ditto-lint: hot-path-end(op-dispatch)
 
   void AdvancePhase(uint32_t index) {
     if (schedule_ == nullptr) {

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <string>
+#include <thread>
 
 #include "core/adaptive.h"
 #include "dm/pool.h"
@@ -135,9 +138,12 @@ TEST_F(AdaptiveTest, MalformedUpdatePayloadsRejected) {
   EXPECT_TRUE(verbs_.Rpc(dm::kRpcUpdateWeights, std::string(8, '\0')).empty());
   // Deliberately short payload.
   EXPECT_TRUE(verbs_.Rpc(dm::kRpcUpdateWeights, std::string(3, '\1')).empty());
+  // Empty payload: zero doubles for a two-expert controller (and a decode
+  // edge: an empty view may carry null data(), which memcpy must not see).
+  EXPECT_TRUE(verbs_.Rpc(dm::kRpcUpdateWeights, std::string()).empty());
 
   EXPECT_EQ(controller_.updates_received(), 0u);
-  EXPECT_EQ(controller_.updates_rejected(), 3u);
+  EXPECT_EQ(controller_.updates_rejected(), 4u);
   const std::vector<double> after = controller_.weights();
   EXPECT_DOUBLE_EQ(after[0], before[0]) << "a rejected payload must not perturb the weights";
   EXPECT_DOUBLE_EQ(after[1], before[1]);
@@ -191,6 +197,40 @@ TEST_F(AdaptiveTest, ManualFlushDrainsPending) {
   EXPECT_EQ(controller_.updates_received(), 1u);
   state.Flush();  // nothing pending: no extra RPC
   EXPECT_EQ(controller_.updates_received(), 1u);
+}
+
+// Regression: updates_received()/updates_rejected() read the mu_-guarded
+// counters without the lock — a data race against concurrent HandleUpdate
+// (flagged by clang -Wthread-safety once the fields were GUARDED_BY(mu_)).
+// The accessors now lock; this hammers them from readers racing an updater
+// so the TSan CI leg would catch a regression.
+TEST_F(AdaptiveTest, CounterAccessorsAreRaceFreeUnderConcurrentUpdates) {
+  constexpr int kUpdates = 200;
+  std::atomic<bool> done{false};
+  std::thread updater([&] {
+    rdma::ClientContext ctx(1);
+    rdma::Verbs verbs(&pool_.node(), &ctx);
+    const std::string good(16, '\0');  // two zero penalties: accepted
+    const std::string bad(3, '\1');    // not a whole double: rejected
+    for (int i = 0; i < kUpdates; ++i) {
+      verbs.Rpc(dm::kRpcUpdateWeights, good);
+      verbs.Rpc(dm::kRpcUpdateWeights, bad);
+    }
+    done.store(true, std::memory_order_release);
+  });
+  uint64_t last_received = 0;
+  uint64_t last_rejected = 0;
+  while (!done.load(std::memory_order_acquire)) {
+    const uint64_t received = controller_.updates_received();
+    const uint64_t rejected = controller_.updates_rejected();
+    EXPECT_GE(received, last_received) << "counter must be monotonic";
+    EXPECT_GE(rejected, last_rejected) << "counter must be monotonic";
+    last_received = received;
+    last_rejected = rejected;
+  }
+  updater.join();
+  EXPECT_EQ(controller_.updates_received(), static_cast<uint64_t>(kUpdates));
+  EXPECT_EQ(controller_.updates_rejected(), static_cast<uint64_t>(kUpdates));
 }
 
 }  // namespace

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 
 #include "baselines/cliquemap.h"
 #include "baselines/redis_model.h"
 #include "baselines/shard_lru.h"
 #include "dm/pool.h"
+#include "rdma/verbs.h"
 
 namespace ditto::baselines {
 namespace {
@@ -281,6 +283,86 @@ TEST(RedisModelTest, ShrinkAlsoMigrates) {
   model.Resize(32);
   EXPECT_GT(model.migration_remaining_s(), 60.0);
   EXPECT_EQ(model.active_shards(), 64) << "reclamation is delayed until migration completes";
+}
+
+// ---- Malformed RPC payloads (regression: unchecked payload decodes) --------
+//
+// The handlers used to memcpy the fixed header out of whatever bytes arrived:
+// a short kRpcCmSet read past the payload, a short kRpcCmExpire additionally
+// threw std::out_of_range from substr(8) and took the server down, and a
+// ragged kRpcCmSync silently merged a truncated prefix. Every handler now
+// validates request.size() before decoding (pinned by ditto_lint).
+
+TEST(CliqueMapTest, RejectsTruncatedSetPayloads) {
+  dm::MemoryPool pool(PoolFor(1000));
+  CliqueMapServer server(&pool, CliqueMapConfig{});
+  rdma::ClientContext ctx(0);
+  rdma::Verbs verbs(&pool.node(), &ctx);
+
+  for (const size_t len : {size_t{0}, size_t{1}, size_t{15}}) {
+    const std::string response = verbs.Rpc(kRpcCmSet, std::string(len, 'x'));
+    ASSERT_EQ(response.size(), 9u) << "payload of " << len << " bytes";
+    EXPECT_EQ(response[0], '\0') << "short Set payload must be rejected, not decoded";
+  }
+  EXPECT_EQ(server.size(), 0u);
+}
+
+TEST(CliqueMapTest, RejectsSetHeaderLyingAboutLengths) {
+  dm::MemoryPool pool(PoolFor(1000));
+  CliqueMapServer server(&pool, CliqueMapConfig{});
+  rdma::ClientContext ctx(0);
+  rdma::Verbs verbs(&pool.node(), &ctx);
+
+  // Header declaring a 100-byte key + 100-byte value, but only 4 body bytes.
+  std::string request(16 + 4, '\0');
+  const uint32_t val_len = 100;
+  const uint16_t key_len = 100;
+  std::memcpy(request.data(), &val_len, 4);
+  std::memcpy(request.data() + 4, &key_len, 2);
+  const std::string response = verbs.Rpc(kRpcCmSet, request);
+  ASSERT_EQ(response.size(), 9u);
+  EXPECT_EQ(response[0], '\0') << "declared lengths must match the bytes that arrived";
+  EXPECT_EQ(server.size(), 0u);
+
+  // A well-formed Set on the same server still works.
+  CliqueMapClient client(&pool, &server, &ctx);
+  client.Set("alpha", "value-1");
+  std::string value;
+  EXPECT_TRUE(client.Get("alpha", &value));
+  EXPECT_EQ(value, "value-1");
+}
+
+TEST(CliqueMapTest, RejectsTruncatedExpirePayloads) {
+  dm::MemoryPool pool(PoolFor(1000));
+  CliqueMapServer server(&pool, CliqueMapConfig{});
+  rdma::ClientContext ctx(0);
+  CliqueMapClient client(&pool, &server, &ctx);
+  client.Set("alpha", "value-1");
+
+  rdma::Verbs verbs(&pool.node(), &ctx);
+  for (const size_t len : {size_t{0}, size_t{3}, size_t{7}}) {
+    const std::string response = verbs.Rpc(kRpcCmExpire, std::string(len, 'x'));
+    ASSERT_EQ(response.size(), 1u) << "payload of " << len << " bytes";
+    EXPECT_EQ(response[0], '\0') << "payload shorter than the expiry word must be rejected";
+  }
+  std::string value;
+  EXPECT_TRUE(client.Get("alpha", &value)) << "server must survive malformed Expire";
+}
+
+TEST(CliqueMapTest, RejectsRaggedSyncPayloads) {
+  dm::MemoryPool pool(PoolFor(1000));
+  CliqueMapServer server(&pool, CliqueMapConfig{});
+  rdma::ClientContext ctx(0);
+  rdma::Verbs verbs(&pool.node(), &ctx);
+
+  for (const size_t len : {size_t{7}, size_t{17}, size_t{31}}) {
+    const std::string response = verbs.Rpc(kRpcCmSync, std::string(len, '\0'));
+    ASSERT_EQ(response.size(), 1u) << "payload of " << len << " bytes";
+    EXPECT_EQ(response[0], '\0') << "ragged access-info payload must be rejected whole";
+  }
+  // An empty batch and a whole batch are both fine.
+  EXPECT_EQ(verbs.Rpc(kRpcCmSync, std::string())[0], '\1');
+  EXPECT_EQ(verbs.Rpc(kRpcCmSync, std::string(32, '\0'))[0], '\1');
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/object.h"
@@ -60,6 +61,19 @@ TEST(ObjectTest, ExtensionWordsPreserved) {
 TEST(ObjectTest, EmptyKeyAndValue) {
   std::vector<uint8_t> buf;
   EncodeObject("", "", nullptr, 0, &buf);
+  DecodedObject obj;
+  ASSERT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
+  EXPECT_TRUE(obj.key.empty());
+  EXPECT_TRUE(obj.value.empty());
+}
+
+TEST(ObjectTest, NullDataEmptyViewsEncode) {
+  // A default-constructed string_view is empty with data() == nullptr —
+  // unlike "" above, whose data() points at the literal. EncodeObject must
+  // not hand that null pointer to memcpy even for a zero-byte copy (UB that
+  // the UBSan leg traps via memcpy's nonnull attribute).
+  std::vector<uint8_t> buf;
+  EncodeObject(std::string_view(), std::string_view(), nullptr, 0, &buf);
   DecodedObject obj;
   ASSERT_TRUE(DecodeObject(buf.data(), buf.size(), &obj));
   EXPECT_TRUE(obj.key.empty());
