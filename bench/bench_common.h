@@ -18,6 +18,7 @@
 #include "baselines/cliquemap.h"
 #include "baselines/shard_lru.h"
 #include "common/flags.h"
+#include "core/cluster.h"
 #include "core/ditto_client.h"
 #include "core/sharded_client.h"
 #include "dm/pool.h"
@@ -181,6 +182,33 @@ inline ShardedEngineDeployment MakeShardedEngine(const dm::PoolConfig& per_node_
     d.shards.push_back(
         std::make_unique<sim::DittoCacheClient>(&d.pool->node(i), d.ctxs.back().get(), config));
     d.raw.push_back(d.shards.back().get());
+    d.nodes.push_back(&d.pool->node(i).node());
+  }
+  return d;
+}
+
+// A fault-tolerant cluster deployment: N memory nodes behind a hash ring,
+// driven by retrying ClusterCacheClients (see core/cluster.h). Lifecycle
+// steps come from RunOptions::lifecycle_schedule.
+struct ClusterDeployment {
+  std::unique_ptr<core::ClusterPool> pool;
+  std::vector<std::unique_ptr<rdma::ClientContext>> ctxs;
+  std::vector<std::unique_ptr<sim::ClusterCacheClient>> clients;
+  std::vector<sim::CacheClient*> raw;
+  std::vector<rdma::RemoteNode*> nodes;
+};
+
+inline ClusterDeployment MakeCluster(const core::ClusterConfig& config, int num_clients) {
+  ClusterDeployment d;
+  d.pool = std::make_unique<core::ClusterPool>(config);
+  for (int i = 0; i < num_clients; ++i) {
+    d.ctxs.push_back(std::make_unique<rdma::ClientContext>(i));
+    d.clients.push_back(std::make_unique<sim::ClusterCacheClient>(d.pool.get(),
+                                                                  d.ctxs.back().get(),
+                                                                  config.ditto));
+    d.raw.push_back(d.clients.back().get());
+  }
+  for (int i = 0; i < d.pool->num_nodes(); ++i) {
     d.nodes.push_back(&d.pool->node(i).node());
   }
   return d;

@@ -46,10 +46,15 @@ COLUMNS = [
     ("wall_mops", "wall_mops"),
     ("threads", "threads"),
     ("ops_per_core_mops", "wall/core"),
+    # Fault-recovery metric (cluster lifecycle rows only): ops after the fault
+    # until the windowed hit rate is back at 99% of the pre-fault mean. Lower
+    # is better; rows without faults show "-".
+    ("recovery_ops", "recovery_ops"),
 ]
 
 TREND_COLUMNS = ["bench", "label", "wall_mops", "base_wall", "wall Δ%",
-                 "tput_mops", "base_tput", "tput Δ%"]
+                 "tput_mops", "base_tput", "tput Δ%",
+                 "recovery", "base_rec", "rec Δ%"]
 
 
 def format_cell(value):
@@ -170,6 +175,7 @@ def cmd_report(args):
                 wall_d = delta_pct(cur.get("wall_mops"), base.get("wall_mops"))
                 tput_d = delta_pct(cur.get("throughput_mops"),
                                    base.get("throughput_mops"))
+                rec_d = delta_pct(cur.get("recovery_ops"), base.get("recovery_ops"))
                 cells = [
                     format_cell(cur.get("bench")), format_cell(cur.get("label")),
                     format_cell(cur.get("wall_mops")),
@@ -178,6 +184,9 @@ def cmd_report(args):
                     format_cell(cur.get("throughput_mops")),
                     format_cell(base.get("throughput_mops")),
                     "-" if tput_d is None else f"{tput_d:+.1f}",
+                    format_cell(cur.get("recovery_ops")),
+                    format_cell(base.get("recovery_ops")),
+                    "-" if rec_d is None else f"{rec_d:+.1f}",
                 ]
                 f.write("| " + " | ".join(cells) + " |\n")
 

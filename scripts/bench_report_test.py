@@ -99,6 +99,36 @@ class ReportTest(unittest.TestCase):
             self.assertEqual(len(merged), 1)
             self.assertEqual(merged[0]["wall_mops"], 3.0)
 
+    def test_recovery_metric_in_trend_table(self):
+        # Cluster lifecycle rows carry recovery_ops (ops until the windowed
+        # hit rate is back at 99% of the pre-fault mean). The trend table must
+        # report its delta — recovering in 4000 ops against a 16000-op
+        # baseline is -75%. Rows without the field show "-" and never break
+        # the table.
+        with tempfile.TemporaryDirectory() as tmp:
+            out_dir = os.path.join(tmp, "out")
+            base_dir = os.path.join(tmp, "base")
+            os.makedirs(out_dir)
+            os.makedirs(base_dir)
+            cur = row("cluster", "ditto-crash", 1.5)
+            cur["recovery_ops"] = 4000
+            base = row("cluster", "ditto-crash", 1.5)
+            base["recovery_ops"] = 16000
+            write(os.path.join(out_dir, "BENCH_cluster.json"),
+                  json.dumps([cur, row("demo", "no-faults", 1.0)]))
+            write(os.path.join(base_dir, "BENCH_cluster.json"),
+                  json.dumps([base, row("demo", "no-faults", 1.0)]))
+            self.assertEqual(
+                bench_report.main(["report", "--out-dir", out_dir,
+                                   "--baseline-dir", base_dir]), 0)
+            with open(os.path.join(out_dir, "report.md"), encoding="utf-8") as f:
+                md = f.read()
+            self.assertIn("| recovery_ops |", md)
+            self.assertIn("| recovery |", md)
+            self.assertIn("4000", md)
+            self.assertIn("16000", md)
+            self.assertIn("-75.0", md)
+
     def test_every_row_keeps_wall_mops_in_the_table(self):
         with tempfile.TemporaryDirectory() as tmp:
             write(os.path.join(tmp, "BENCH_demo.json"),

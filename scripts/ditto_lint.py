@@ -43,6 +43,8 @@ WIRE_STRUCTS = [
     ("src/hashtable/layout.h", "SlotView"),
     ("src/core/object.h", "ObjectHeader"),
     ("src/net/resp.h", "RespReply"),
+    ("src/core/ring.h", "RingEntry"),
+    ("src/core/ring.h", "RingEpochHeader"),
 ]
 
 # region name -> relative file that must contain it.
@@ -51,6 +53,7 @@ REQUIRED_HOT_PATHS = {
     "op-dispatch": "src/sim/runner.cc",
     "resp-parse": "src/net/resp.cc",
     "arena-copy": "src/rdma/arena.cc",
+    "migrate-copy": "src/core/cluster.cc",
 }
 
 # relative file -> exact number of reinterpret_cast tokens allowed.

@@ -67,7 +67,7 @@ first=1
 
 for bench in "${build_dir}"/fig* "${build_dir}"/sharded_engine "${build_dir}"/elastic_scaling \
              "${build_dir}"/contended_engine "${build_dir}"/pipelined_engine \
-             "${build_dir}"/server_loadgen; do
+             "${build_dir}"/server_loadgen "${build_dir}"/cluster_lifecycle; do
   [ -x "${bench}" ] || continue
   name="$(basename "${bench}")"
   out_file="${out_dir}/${name}.txt"

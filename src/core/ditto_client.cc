@@ -273,6 +273,12 @@ bool DittoClient::EvictOne() {
   cands.reserve(k);
 
   for (int attempt = 0; attempt < 256; ++attempt) {
+    if (!verbs_.ok()) {
+      // A failed verb (node crashed / timed out) would make every sample read
+      // below fail too; 256 attempts x 64 reads of dead air is the difference
+      // between degrading and hanging.
+      return false;
+    }
     // Accumulate sampled objects until we hold k candidates. With a densely
     // loaded table one READ suffices (the paper's fast path); sparse tables
     // keep sampling so eviction quality does not degrade to random.
@@ -390,6 +396,9 @@ bool DittoClient::ClaimSlotAndPublish(uint64_t bucket, uint64_t hash, uint8_t fp
                                       uint64_t obj_addr, int blocks, uint64_t now) {
   const uint64_t desired = ht::PackAtomic(fp, static_cast<uint8_t>(blocks), obj_addr);
   for (int attempt = 0; attempt < 8; ++attempt) {
+    if (!verbs_.ok()) {
+      return false;  // fail fast: the node is unreachable, publishing can't succeed
+    }
     table_.ReadBucket(bucket, &bucket_buf_);
 
     int target = -1;
@@ -785,6 +794,9 @@ bool DittoClient::ResizeCapacity(uint64_t capacity_objects) {
   // by concurrent clients (or a racing further resize) are observed instead
   // of over-evicting.
   while (true) {
+    if (!verbs_.ok()) {
+      return false;  // node unreachable mid-shrink; report failure, don't spin
+    }
     const SuperblockView super = ReadSuperblock();
     if (super.object_count <= super.capacity) {
       return true;

@@ -24,6 +24,9 @@ uint64_t RemoteAllocator::PopFreeList(int blocks) {
   const uint64_t list_addr = FreeListAddrFor(blocks);
   // Treiber pop: READ head, READ head->next, CAS head. Retries on contention.
   while (true) {
+    if (!verbs_->ok()) {
+      return 0;  // node unreachable: a failed CAS would retry forever
+    }
     uint64_t head;
     verbs_->Read(list_addr, &head, 8);
     if (HeadAddr(head) == 0) {
@@ -102,6 +105,9 @@ void RemoteAllocator::PushFreeList(uint64_t addr, int blocks) {
   const uint64_t list_addr = FreeListAddrFor(blocks);
   // Treiber push: link the run to the current head, then CAS the head.
   while (true) {
+    if (!verbs_->ok()) {
+      return;  // node unreachable: drop the run rather than spin on a dead QP
+    }
     uint64_t head;
     verbs_->Read(list_addr, &head, 8);
     const uint64_t next = HeadAddr(head);

@@ -1,5 +1,6 @@
 #include "dm/pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 
@@ -62,6 +63,24 @@ void MemoryPool::HandleAllocSegment(std::string_view request, std::string* respo
   }
   response->resize(8);
   std::memcpy(response->data(), &granted, 8);
+}
+
+void MemoryPool::WipeForRestart() {
+  // Preserve the runtime capacity/history configuration across the wipe: a
+  // restarted node comes back empty but at the size it was resized to.
+  const uint64_t capacity = node_.arena().ReadU64(kCapacityAddr);
+  const uint64_t hist_size = node_.arena().ReadU64(kHistSizeAddr);
+  {
+    MutexLock lock(&alloc_mu_);
+    uint8_t zeros[kSuperblockBytes] = {0};
+    for (uint64_t addr = 0; addr < heap_addr_; addr += sizeof(zeros)) {
+      node_.arena().Write(addr, zeros,
+                          std::min<size_t>(sizeof(zeros), heap_addr_ - addr));
+    }
+    bump_ = heap_addr_ + kBlockBytes;
+  }
+  node_.arena().WriteU64(kCapacityAddr, capacity);
+  node_.arena().WriteU64(kHistSizeAddr, hist_size);
 }
 
 void MemoryPool::SetCapacityObjects(uint64_t capacity) {

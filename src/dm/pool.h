@@ -108,6 +108,16 @@ class MemoryPool {
   // Host-side view of allocator pressure (segments handed out).
   uint64_t segments_allocated() const { return segments_allocated_.load(); }
 
+  // Cold restart of a crashed node: zeroes the superblock and hash table
+  // (every slot, counter, freelist head, and expert weight), resets the
+  // segment bump allocator, and restores the capacity/history words that were
+  // in effect before the wipe. The heap is NOT zeroed — with the table empty
+  // nothing references it, and any torn re-read of stale blocks is rejected
+  // by the object checksum. Callers must ensure no client holds allocator or
+  // FC-cache state for this node across the wipe (the cluster layer bumps a
+  // node generation and recreates per-node clients).
+  void WipeForRestart();
+
   // Logical-time source shared by all clients of this pool; used as the
   // timestamp domain of cache metadata.
   LogicalClock& clock() { return clock_; }

@@ -136,7 +136,9 @@ bool Connection::ExecuteCommand(const std::string_view* args, size_t argc) {
     }
     ops_.assign(1, sim::CacheOp::Get(args[1], /*want_value=*/true));
     ExecuteOps();
-    if (results_[0].hit()) {
+    if (AnyUnavailable()) {
+      Unavailable("get");
+    } else if (results_[0].hit()) {
       AppendBulk(&out_, results_[0].value);
     } else {
       AppendNil(&out_);
@@ -157,7 +159,9 @@ bool Connection::ExecuteCommand(const std::string_view* args, size_t argc) {
     }
     ops_.assign(1, sim::CacheOp::Set(args[1], args[2], ttl_ticks));
     ExecuteOps();
-    if (results_[0].status == sim::OpStatus::kStored) {
+    if (AnyUnavailable()) {
+      Unavailable("set");
+    } else if (results_[0].status == sim::OpStatus::kStored) {
       AppendSimple(&out_, "OK");
     } else {
       AppendError(&out_, "OOM store dropped (memory exhausted, nothing evictable)");
@@ -175,6 +179,10 @@ bool Connection::ExecuteCommand(const std::string_view* args, size_t argc) {
       ops_.push_back(sim::CacheOp::Delete(args[i]));
     }
     ExecuteOps();
+    if (AnyUnavailable()) {
+      Unavailable("del");
+      return true;
+    }
     int64_t deleted = 0;
     for (const sim::CacheResult& r : results_) {
       deleted += r.status == sim::OpStatus::kDeleted ? 1 : 0;
@@ -195,6 +203,10 @@ bool Connection::ExecuteCommand(const std::string_view* args, size_t argc) {
     }
     ops_.assign(1, sim::CacheOp::Expire(args[1], ttl_ticks));
     ExecuteOps();
+    if (AnyUnavailable()) {
+      Unavailable("expire");
+      return true;
+    }
     AppendInteger(&out_, results_[0].status == sim::OpStatus::kStored ? 1 : 0);
     return true;
   }
@@ -212,6 +224,12 @@ bool Connection::ExecuteCommand(const std::string_view* args, size_t argc) {
       ops_.push_back(sim::CacheOp::MultiGet(args[i], /*want_value=*/true));
     }
     ExecuteOps();
+    if (AnyUnavailable()) {
+      // RESP2 has no per-element error inside an array: one unrouteable key
+      // fails the whole MGET rather than masquerading as a nil.
+      Unavailable("mget");
+      return true;
+    }
     AppendArrayHeader(&out_, results_.size());
     for (const sim::CacheResult& r : results_) {
       if (r.hit()) {
@@ -233,6 +251,10 @@ bool Connection::ExecuteCommand(const std::string_view* args, size_t argc) {
     // matching redis's "no TTL" / "no key" distinction.
     ops_.assign(1, sim::CacheOp::Get(args[1], /*want_value=*/false));
     ExecuteOps();
+    if (AnyUnavailable()) {
+      Unavailable("ttl");
+      return true;
+    }
     AppendInteger(&out_, results_[0].hit() ? -1 : -2);
     return true;
   }
@@ -249,6 +271,20 @@ void Connection::ExecuteOps() {
 void Connection::WrongArity(std::string_view verb) {
   AppendError(&out_,
               "ERR wrong number of arguments for '" + std::string(verb) + "' command");
+}
+
+bool Connection::AnyUnavailable() const {
+  for (const sim::CacheResult& r : results_) {
+    if (r.status == sim::OpStatus::kUnavailable) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Connection::Unavailable(std::string_view verb) {
+  AppendError(&out_, "UNAVAILABLE '" + std::string(verb) +
+                         "' aborted: backing node crashed or retries exhausted, retry");
 }
 
 }  // namespace ditto::net

@@ -15,6 +15,12 @@
 // Command -> CacheOp mapping (RESP2 subset):
 //   GET k            -> kGet        -> $value | $-1
 //   SET k v [EX t]   -> kSet(ttl=t) -> +OK | -OOM (kDropped)
+//
+// Any command whose cache op comes back kUnavailable (a cluster deployment's
+// backing node crashed, or the op exhausted its retries) answers
+// `-UNAVAILABLE <detail>` instead of its normal reply: a silent nil would
+// read as "key absent" and poison negative caches. Multi-key commands
+// (DEL/MGET) answer -UNAVAILABLE when ANY of their keys was unrouteable.
 //   DEL k [k...]     -> kDelete xN  -> :deleted_count
 //   EXPIRE k t       -> kExpire     -> :1 | :0
 //   MGET k [k...]    -> kMultiGet run (doorbell-fused by the client) -> array
@@ -90,6 +96,11 @@ class Connection {
   void ExecuteOps();
   // Appends `-ERR wrong number of arguments for '<verb>' command`.
   void WrongArity(std::string_view verb);
+  // True when any result of the last ExecuteOps came back kUnavailable; the
+  // caller answers `-UNAVAILABLE` for the whole command.
+  bool AnyUnavailable() const;
+  // Appends `-UNAVAILABLE '<verb>' aborted: ...`.
+  void Unavailable(std::string_view verb);
 
   int fd_;
   ConnectionHost* host_;

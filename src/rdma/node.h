@@ -17,6 +17,7 @@
 #include "common/rand.h"
 #include "rdma/arena.h"
 #include "rdma/cost_model.h"
+#include "rdma/fault.h"
 #include "rdma/nic_model.h"
 
 namespace ditto::rdma {
@@ -39,6 +40,8 @@ class RemoteNode {
   NicModel& nic() { return nic_; }
   CpuModel& cpu() { return cpu_; }
   const CostModel& cost() const { return cost_; }
+  FaultState& fault() { return fault_; }
+  const FaultState& fault() const { return fault_; }
 
   void RegisterRpc(uint32_t id, RpcHandler handler) {
     ditto::MutexLock lock(&rpc_mu_);
@@ -66,6 +69,7 @@ class RemoteNode {
   MemoryArena arena_;
   NicModel nic_;
   CpuModel cpu_;
+  FaultState fault_;
   ditto::Mutex rpc_mu_;
   std::map<uint32_t, RpcHandler> handlers_ GUARDED_BY(rpc_mu_);
 };
@@ -87,6 +91,11 @@ class ClientContext {
   uint64_t writes = 0;
   uint64_t atomics = 0;
   uint64_t rpcs = 0;
+  // Injected-failure counters: verbs that timed out, RPCs dropped, and verbs
+  // refused because the target node was crashed.
+  uint64_t verb_timeouts = 0;
+  uint64_t rpc_drops = 0;
+  uint64_t unavailable = 0;
 
  private:
   uint32_t id_;

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+
+#include "common/hash.h"
 
 namespace ditto::rdma {
 
@@ -39,7 +42,45 @@ uint64_t Verbs::PostSignalled(double rtt_us, double msg_cost, size_t bytes) {
   return wr;
 }
 
+double Verbs::FaultDraw() {
+  const FaultPlan& plan = node_->fault().plan();
+  const uint64_t mix =
+      Mix64(plan.seed ^ (uint64_t{ctx_->id()} << 32) ^ ++fault_draws_);
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(mix >> 11) * 0x1.0p-53;
+}
+
+bool Verbs::FaultFail(double prob, VerbStatus prob_status) {
+  FaultState& fault = node_->fault();
+  if (!fault.armed()) {
+    return false;  // fast path: one relaxed load per verb when faults are off
+  }
+  VerbStatus status;
+  if (fault.CrashedAt(base_now_ns())) {
+    status = VerbStatus::kUnavailable;
+    ctx_->unavailable++;
+  } else if (prob > 0.0 && FaultDraw() < prob) {
+    status = prob_status;
+    if (prob_status == VerbStatus::kRpcDropped) {
+      ctx_->rpc_drops++;
+    } else {
+      ctx_->verb_timeouts++;
+    }
+  } else {
+    return false;
+  }
+  last_status_ = status;
+  // The client burns its completion-timeout budget detecting the failure;
+  // nothing reaches the NIC or controller models (the verb never completed).
+  AdvanceBaseNs(static_cast<uint64_t>(fault.plan().timeout_us * 1000.0));
+  return true;
+}
+
 uint64_t Verbs::WaitWr(uint64_t wr_id) {
+  if (wr_id == 0) {
+    // The "no wr" id a fault-failed Post* returns: nothing to wait for.
+    return base_now_ns();
+  }
   for (size_t i = 0; i < cq_.size(); ++i) {
     if (cq_[i].wr_id == wr_id) {
       const uint64_t complete_ns = cq_[i].complete_ns;
@@ -162,18 +203,30 @@ void Verbs::Write(uint64_t addr, const void* src, size_t len) {
 }
 
 uint64_t Verbs::PostRead(uint64_t addr, void* dst, size_t len) {
+  if (FaultFail(node_->fault().plan().verb_timeout_prob, VerbStatus::kTimeout)) {
+    // Zero the destination so the caller decodes an empty bucket / rejected
+    // object instead of whatever stale bytes the scratch buffer held.
+    std::memset(dst, 0, len);
+    return 0;
+  }
   node_->arena().Read(addr, dst, len);
   ctx_->reads++;
   return PostSignalled(node_->cost().read_rtt_us, 1.0, len);
 }
 
 uint64_t Verbs::PostWrite(uint64_t addr, const void* src, size_t len) {
+  if (FaultFail(node_->fault().plan().verb_timeout_prob, VerbStatus::kTimeout)) {
+    return 0;
+  }
   node_->arena().Write(addr, src, len);
   ctx_->writes++;
   return PostSignalled(node_->cost().write_rtt_us, 1.0, len);
 }
 
 void Verbs::WriteAsync(uint64_t addr, const void* src, size_t len) {
+  if (FaultFail(node_->fault().plan().verb_timeout_prob, VerbStatus::kTimeout)) {
+    return;
+  }
   node_->arena().Write(addr, src, len);
   ctx_->writes++;
   if (batch_max_ > 0) {
@@ -197,6 +250,13 @@ uint64_t Verbs::FetchAdd(uint64_t addr, uint64_t delta) {
 
 uint64_t Verbs::PostCas(uint64_t addr, uint64_t expected, uint64_t desired,
                         uint64_t* observed) {
+  if (FaultFail(node_->fault().plan().verb_timeout_prob, VerbStatus::kTimeout)) {
+    if (observed != nullptr) {
+      // A failed CAS must read as "lost the race": observed != expected.
+      *observed = ~expected;
+    }
+    return 0;
+  }
   const uint64_t value = node_->arena().CompareSwap(addr, expected, desired);
   if (observed != nullptr) {
     *observed = value;
@@ -206,6 +266,12 @@ uint64_t Verbs::PostCas(uint64_t addr, uint64_t expected, uint64_t desired,
 }
 
 uint64_t Verbs::PostFaa(uint64_t addr, uint64_t delta, uint64_t* prior) {
+  if (FaultFail(node_->fault().plan().verb_timeout_prob, VerbStatus::kTimeout)) {
+    if (prior != nullptr) {
+      *prior = 0;
+    }
+    return 0;
+  }
   const uint64_t value = node_->arena().FetchAdd(addr, delta);
   if (prior != nullptr) {
     *prior = value;
@@ -215,6 +281,9 @@ uint64_t Verbs::PostFaa(uint64_t addr, uint64_t delta, uint64_t* prior) {
 }
 
 void Verbs::FetchAddAsync(uint64_t addr, uint64_t delta) {
+  if (FaultFail(node_->fault().plan().verb_timeout_prob, VerbStatus::kTimeout)) {
+    return;
+  }
   node_->arena().FetchAdd(addr, delta);
   ctx_->atomics++;
   if (batch_max_ > 0) {
@@ -226,6 +295,10 @@ void Verbs::FetchAddAsync(uint64_t addr, uint64_t delta) {
 
 void Verbs::Rpc(uint32_t handler_id, std::string_view request, std::string* response,
                 double service_us) {
+  if (FaultFail(node_->fault().plan().rpc_drop_prob, VerbStatus::kRpcDropped)) {
+    response->clear();
+    return;
+  }
   const CostModel& cost = node_->cost();
   if (service_us <= 0.0) {
     service_us = cost.rpc_service_us;

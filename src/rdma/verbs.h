@@ -43,6 +43,20 @@ class Verbs {
   RemoteNode& node() { return *node_; }
   ClientContext& ctx() { return *ctx_; }
 
+  // --- Fault status ---------------------------------------------------------
+  // When the node's FaultState is armed, any verb can fail: a failed Post*
+  // returns wr id 0 (WaitWr(0) is a no-op), a failed READ zeroes the
+  // destination buffer (the caller decodes an empty bucket / torn object, not
+  // stale scratch), a failed CAS reports observed != expected, and a failed
+  // RPC clears the response. The status below is STICKY across verbs — it
+  // records the first failure since the last ClearStatus(), so a multi-verb
+  // operation checks ok() once per stage instead of after every verb. Failed
+  // verbs charge plan.timeout_us to the client's time base only; nothing
+  // reaches the NIC or controller models.
+  VerbStatus last_status() const { return last_status_; }
+  bool ok() const { return last_status_ == VerbStatus::kOk; }
+  void ClearStatus() { last_status_ = VerbStatus::kOk; }
+
   void Read(uint64_t addr, void* dst, size_t len);
   // Host-cache prefetch of remote memory this client is about to READ (the
   // simulator analogue of warming DDIO lines while a posted verb is in
@@ -77,6 +91,9 @@ class Verbs {
 
   // Blocks (advances this QP's time base) until wr_id completes, removes it
   // from the CQ, and returns its completion timestamp. wr_id must be pending.
+  // wr_id 0 — the id a fault-failed Post* returns — is a no-op that returns
+  // the current time base, so resumable state machines can wait on a stored
+  // wr without branching on whether the post succeeded.
   uint64_t WaitWr(uint64_t wr_id);
 
   // Pops the earliest-completing pending entry (ties broken by post order)
@@ -146,6 +163,16 @@ class Verbs {
   // completion entry. Returns the new wr id.
   uint64_t PostSignalled(double rtt_us, double msg_cost, size_t bytes);
 
+  // Returns true (and records *status) if the fault layer fails this verb:
+  // the node is crashed at the current time base, or a deterministic draw
+  // lands under the plan's probability for this kind. Charges the plan's
+  // timeout budget to the client time base and bumps the matching context
+  // counter. `prob` selects the probabilistic leg (verb vs RPC drop).
+  bool FaultFail(double prob, VerbStatus prob_status);
+  // Deterministic per-QP uniform draw in [0,1): a pure function of
+  // (plan.seed, ctx id, ++fault_draws_).
+  double FaultDraw();
+
   void ChargeAsync(double msg_cost, size_t bytes);
   void EnqueueBatched(uint8_t kind, uint64_t addr, uint32_t bytes);
 
@@ -159,6 +186,8 @@ class Verbs {
   std::vector<Completion> cq_;  // pending completions (unsorted; CQs are short)
   bool in_op_ = false;
   uint64_t op_cursor_ = 0;
+  VerbStatus last_status_ = VerbStatus::kOk;
+  uint64_t fault_draws_ = 0;  // advances only when a probabilistic leg is armed
 };
 
 }  // namespace ditto::rdma

@@ -13,6 +13,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/cluster.h"
 #include "core/ditto_client.h"
 #include "core/sharded_client.h"
 #include "sim/client_iface.h"
@@ -85,7 +86,8 @@ class DittoAdapterBase : public CacheClient {
   rdma::ClientContext* ctx_;
   ClientT client_;
 
- private:
+  // Protected (not private) so cluster-aware subclasses can re-drive the
+  // same dispatch while stamping fault outcomes onto the results.
   void ExecuteSingle(const CacheOp& op, CacheResult* result) {
     DispatchSingleOp(
         *ctx_, op, result,
@@ -122,6 +124,7 @@ class DittoAdapterBase : public CacheClient {
     }
   }
 
+ private:
   // Multi-get gather scratch, reused across runs (adapters are
   // single-threaded like the clients they wrap).
   std::vector<std::string_view> mg_keys_;
@@ -147,6 +150,63 @@ class ShardedDittoCacheClient : public DittoAdapterBase<core::ShardedDittoClient
       : DittoAdapterBase(pool, ctx, config) {}
 
   core::ShardedDittoClient& sharded() { return client_; }
+};
+
+// Adapter for fault-tolerant cluster deployments. Re-uses the base dispatch
+// (so fault-free behaviour is bit-identical to ShardedDittoCacheClient), then
+// stamps OpStatus::kUnavailable onto ops whose retries were exhausted — a
+// front end must distinguish "the cluster says miss" from "the cluster cannot
+// answer". Lifecycle steps from the replay schedule are forwarded to the
+// cluster client, which applies them globally-once and migrates keys.
+class ClusterCacheClient : public DittoAdapterBase<core::ClusterClient> {
+ public:
+  ClusterCacheClient(core::ClusterPool* pool, rdma::ClientContext* ctx,
+                     const core::DittoConfig& config)
+      : DittoAdapterBase(pool, ctx, config) {}
+
+  void ExecuteBatch(std::span<const CacheOp> ops, CacheResult* results) override {
+    size_t i = 0;
+    while (i < ops.size()) {
+      if (ops[i].kind == OpKind::kMultiGet) {
+        size_t run_end = i;
+        while (run_end < ops.size() && ops[run_end].kind == OpKind::kMultiGet) {
+          ++run_end;
+        }
+        ExecuteMultiGetRun(ops, i, run_end, results);
+        for (size_t j = i; j < run_end; ++j) {
+          if (client_.mg_unavailable(j - i)) {
+            results[j].status = OpStatus::kUnavailable;
+          }
+        }
+        i = run_end;
+        continue;
+      }
+      ExecuteSingle(ops[i], &results[i]);
+      if (client_.last_op_unavailable()) {
+        results[i].status = OpStatus::kUnavailable;
+      }
+      ++i;
+    }
+  }
+
+  void ApplyLifecycle(const LifecycleStep& step) override {
+    switch (step.kind) {
+      case LifecycleKind::kCrash:
+        client_.ApplyCrash(step.node);
+        break;
+      case LifecycleKind::kRestart:
+        client_.ApplyRestart(step.node);
+        break;
+      case LifecycleKind::kLeave:
+        client_.ApplyLeave(step.node);
+        break;
+      case LifecycleKind::kJoin:
+        client_.ApplyJoin(step.node);
+        break;
+    }
+  }
+
+  core::ClusterClient& cluster() { return client_; }
 };
 
 }  // namespace ditto::sim

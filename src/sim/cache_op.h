@@ -26,12 +26,15 @@ enum class OpKind : uint8_t {
 };
 
 enum class OpStatus : uint8_t {
-  kHit,       // Get/MultiGet found the key
-  kMiss,      // Get/MultiGet did not (includes lazily-expired objects)
-  kStored,    // Set stored the value / Expire armed the TTL
-  kDeleted,   // Delete removed a cached key
-  kNotFound,  // Delete/Expire on a key that is not cached
-  kDropped,   // Set could not store (memory exhausted, nothing evictable)
+  kHit,          // Get/MultiGet found the key
+  kMiss,         // Get/MultiGet did not (includes lazily-expired objects)
+  kStored,       // Set stored the value / Expire armed the TTL
+  kDeleted,      // Delete removed a cached key
+  kNotFound,     // Delete/Expire on a key that is not cached
+  kDropped,      // Set could not store (memory exhausted, nothing evictable)
+  kUnavailable,  // the backing node is crashed / retries exhausted (cluster
+                 // deployments); front ends surface this as -UNAVAILABLE
+                 // instead of serving a silent miss
 };
 
 // One typed request. Keys and values are views into caller-owned storage and
@@ -73,7 +76,7 @@ struct CacheResult {
   bool hit() const { return status == OpStatus::kHit; }
   bool ok() const {
     return status != OpStatus::kMiss && status != OpStatus::kNotFound &&
-           status != OpStatus::kDropped;
+           status != OpStatus::kDropped && status != OpStatus::kUnavailable;
   }
 };
 

@@ -21,6 +21,23 @@
 
 namespace ditto::sim {
 
+// One step of a cluster-membership/fault schedule (mirrors ResizeStep): when
+// the replay crosses `measure_begin + at_op_fraction * measured_ops`, the
+// given lifecycle event is applied to `node`. Clients without a cluster
+// lifecycle ignore the steps (ApplyLifecycle below defaults to a no-op).
+enum class LifecycleKind : uint8_t {
+  kCrash,    // node fails: data lost, ring routes around it
+  kRestart,  // crashed node comes back cold (wiped) and rejoins the ring
+  kLeave,    // planned departure: node leaves the ring, its keys migrate out
+  kJoin,     // planned (re)join: node enters the ring, its keys migrate in
+};
+
+struct LifecycleStep {
+  double at_op_fraction = 0.0;  // in [0, 1), fraction of the measured replay
+  LifecycleKind kind = LifecycleKind::kCrash;
+  uint32_t node = 0;
+};
+
 struct ClientCounters {
   uint64_t gets = 0;
   uint64_t hits = 0;
@@ -153,6 +170,13 @@ class CacheClient {
     (void)capacity_objects;
     return false;
   }
+
+  // Applies one cluster-lifecycle step (crash/restart/leave/join of a
+  // backing node). Cluster deployments apply the step once globally (the
+  // shared pool de-duplicates, so every client of one deployment may call
+  // this, like ResizeCapacity) and run any key migration before returning.
+  // Single-node clients and baselines ignore the call.
+  virtual void ApplyLifecycle(const LifecycleStep& step) { (void)step; }
 
   // Flushes client-side buffers at the end of a run.
   virtual void Finish() {}

@@ -41,4 +41,42 @@ OracleTrajectory ReplayLruOracle(const workload::Trace& trace, size_t measure_be
   return out;
 }
 
+std::vector<RecoverySample> ReplayRecoveryOracle(const workload::Trace& trace,
+                                                 size_t measure_begin,
+                                                 const std::vector<LifecycleStep>& schedule,
+                                                 uint64_t capacity, size_t window_ops) {
+  const std::vector<LifecycleStep> steps = NormalizedLifecycleSchedule(schedule);
+  std::vector<size_t> thresholds;
+  thresholds.reserve(steps.size());
+  for (const LifecycleStep& step : steps) {
+    thresholds.push_back(ResizeStepIndex(step.at_op_fraction, measure_begin, trace.size()));
+  }
+
+  std::vector<RecoverySample> out;
+  RecoverySample cur;
+  auto cache =
+      std::make_unique<policy::PreciseCache>(capacity, policy::PrecisePolicyKind::kLru);
+  size_t next_step = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    while (next_step < thresholds.size() && i >= thresholds[next_step]) {
+      cache = std::make_unique<policy::PreciseCache>(capacity,
+                                                     policy::PrecisePolicyKind::kLru);
+      next_step++;
+    }
+    const bool hit = cache->Access(trace[i].key);
+    if (i >= measure_begin && window_ops > 0) {
+      cur.gets++;
+      cur.hits += hit ? 1 : 0;
+      if (cur.gets >= window_ops) {
+        out.push_back(cur);
+        cur = RecoverySample{};
+      }
+    }
+  }
+  if (cur.gets > 0) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
 }  // namespace ditto::sim

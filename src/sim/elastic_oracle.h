@@ -38,6 +38,20 @@ OracleTrajectory ReplayLruOracle(const workload::Trace& trace, size_t measure_be
                                  const std::vector<ResizeStep>& schedule,
                                  uint64_t initial_capacity, bool cold_restart);
 
+// Windowed cold-restart oracle for the cluster lifecycle experiments: an
+// exact LRU cache of fixed `capacity` that COLD-RESTARTS at every lifecycle
+// step (the monolithic-cluster behaviour, where ANY membership change — a
+// crash as much as a planned join — rebuilds the node set and the cache
+// starts empty). The measured region is sampled every `window_ops` accesses,
+// matching RunOptions::recovery_window_ops on a pure-Get trace, so the
+// bench's trajectory columns align window-for-window with
+// RunResult::recovery. Step indices come from the runner's own
+// NormalizedLifecycleSchedule/ResizeStepIndex.
+std::vector<RecoverySample> ReplayRecoveryOracle(const workload::Trace& trace,
+                                                 size_t measure_begin,
+                                                 const std::vector<LifecycleStep>& schedule,
+                                                 uint64_t capacity, size_t window_ops);
+
 }  // namespace ditto::sim
 
 #endif  // DITTO_SIM_ELASTIC_ORACLE_H_

@@ -25,18 +25,28 @@ size_t RunOptions::ValueBytesFor(uint64_t key) const {
 
 namespace {
 
-// Resize schedule resolved against the measured region [begin, end):
-// absolute trace-index thresholds (sorted ascending) plus the aggregate
-// capacity each step applies.
+// Resize + lifecycle schedules resolved against the measured region
+// [begin, end): absolute trace-index thresholds (sorted ascending) plus the
+// aggregate capacity / lifecycle event each step applies.
 struct ResolvedSchedule {
   std::vector<size_t> thresholds;
   std::vector<uint64_t> capacities;
+  std::vector<size_t> lifecycle_thresholds;
+  std::vector<LifecycleStep> lifecycle_steps;
 
   size_t num_phases() const { return thresholds.size() + 1; }
   // Phase of request index i: the number of thresholds at or below i.
   size_t PhaseOf(size_t index) const {
     size_t p = 0;
     while (p < thresholds.size() && index >= thresholds[p]) {
+      ++p;
+    }
+    return p;
+  }
+  // Lifecycle steps due at or before request index i.
+  size_t LifecycleCountAt(size_t index) const {
+    size_t p = 0;
+    while (p < lifecycle_thresholds.size() && index >= lifecycle_thresholds[p]) {
       ++p;
     }
     return p;
@@ -49,8 +59,39 @@ ResolvedSchedule ResolveSchedule(const RunOptions& options, size_t begin, size_t
     schedule.thresholds.push_back(ResizeStepIndex(step.at_op_fraction, begin, end));
     schedule.capacities.push_back(step.capacity_objects);
   }
+  for (const LifecycleStep& step :
+       NormalizedLifecycleSchedule(options.lifecycle_schedule)) {
+    schedule.lifecycle_thresholds.push_back(ResizeStepIndex(step.at_op_fraction, begin, end));
+    schedule.lifecycle_steps.push_back(step);
+  }
   return schedule;
 }
+
+// Windowed Get-outcome sampler shared by every dispatcher of one interleaved
+// replay (single host thread, so plain counters suffice). Closes a
+// RecoverySample every window_ops Get outcomes in dispatch order, giving the
+// fine-grained hit-rate trajectory lifecycle experiments plot.
+struct RecoveryAccumulator {
+  size_t window_ops = 0;
+  std::vector<RecoverySample>* out = nullptr;
+  RecoverySample cur;
+
+  void Record(bool hit) {
+    cur.gets++;
+    cur.hits += hit ? 1 : 0;
+    if (cur.gets >= window_ops) {
+      out->push_back(cur);
+      cur = RecoverySample{};
+    }
+  }
+  // Emits the trailing short window, if any.
+  void Finish() {
+    if (cur.gets > 0) {
+      out->push_back(cur);
+      cur = RecoverySample{};
+    }
+  }
+};
 
 // The miss policy, shared by the blocking and pipelined paths: the penalty
 // (the backing distributed-store fetch) and the set_on_miss re-insert op.
@@ -103,7 +144,7 @@ CacheOp BuildCacheOp(const workload::Request& req, workload::Op op, const RunOpt
 // the key is rendered into stack storage instead of a heap std::string.
 void ExecuteRequest(CacheClient* client, const workload::Request& req, workload::Op op,
                     const RunOptions& options, const std::string& value,
-                    PhaseResult* phase) {
+                    PhaseResult* phase, RecoveryAccumulator* recovery) {
   rdma::ClientContext& ctx = client->ctx();
   workload::KeyBuf key_buf;
   const std::string_view key = workload::FormatKey(req.key, &key_buf);
@@ -120,6 +161,9 @@ void ExecuteRequest(CacheClient* client, const workload::Request& req, workload:
       phase->gets++;
       (result.hit() ? phase->hits : phase->misses)++;
     }
+  }
+  if (recovery != nullptr && cache_op.kind == OpKind::kGet) {
+    recovery->Record(result.hit());
   }
   ctx.op_hist().RecordNs(ctx.clock().busy_ns() - begin_ns);
 }
@@ -138,12 +182,14 @@ class OpDispatcher {
   // aggregate is applied as-is (shared-state clients apply it idempotently).
   OpDispatcher(CacheClient* client, const workload::Trace& trace, const RunOptions& options,
                const std::string& value, const ResolvedSchedule* schedule = nullptr,
-               size_t owner = 0, size_t num_owners = 1, bool split_capacity = false)
+               size_t owner = 0, size_t num_owners = 1, bool split_capacity = false,
+               RecoveryAccumulator* recovery = nullptr)
       : client_(client),
         trace_(trace),
         options_(options),
         value_(value),
         schedule_(schedule),
+        recovery_(recovery),
         owner_(owner),
         num_owners_(num_owners),
         split_capacity_(split_capacity),
@@ -171,7 +217,7 @@ class OpDispatcher {
       ExecuteRequestPipelined(req, op);
       return;
     }
-    ExecuteRequest(client_, req, op, options_, value_, &phases_[phase_]);
+    ExecuteRequest(client_, req, op, options_, value_, &phases_[phase_], recovery_);
   }
 
   // Closes the current fused multi-get run and (by default) drains the verb
@@ -223,6 +269,9 @@ class OpDispatcher {
     if (cache_op.kind == OpKind::kGet) {
       phase.gets++;
       (result.hit() ? phase.hits : phase.misses)++;
+      if (recovery_ != nullptr) {
+        recovery_->Record(result.hit());
+      }
     }
     ctx.op_hist().RecordNs(complete_ns - start_ns);
     // ditto-lint: allow(alloc): deque depth is bounded by pipeline_depth_
@@ -273,6 +322,9 @@ class OpDispatcher {
         phase->gets++;
         (results[j].hit() ? phase->hits : phase->misses)++;
       }
+      if (recovery_ != nullptr) {
+        recovery_->Record(results[j].hit());
+      }
     }
     const uint64_t total_ns = ctx.clock().busy_ns() - begin_ns;
     for (size_t j = 0; j < idxs.size(); ++j) {
@@ -293,6 +345,16 @@ class OpDispatcher {
                                               : total);
       phase_++;
     }
+    // Lifecycle steps fire the same way resizes do: when this owner's private
+    // stream crosses the step index. Every client calls ApplyLifecycle (so
+    // the engines need no cross-thread coordination here); cluster clients
+    // make the application itself global-once.
+    const size_t lifecycle_target = schedule_->LifecycleCountAt(index);
+    while (lifecycle_applied_ < lifecycle_target) {
+      Flush();  // close the fused run before membership changes re-route keys
+      client_->ApplyLifecycle(schedule_->lifecycle_steps[lifecycle_applied_]);
+      lifecycle_applied_++;
+    }
   }
 
   CacheClient* client_;
@@ -300,12 +362,14 @@ class OpDispatcher {
   const RunOptions& options_;
   const std::string& value_;
   const ResolvedSchedule* schedule_;
+  RecoveryAccumulator* recovery_;
   size_t owner_;
   size_t num_owners_;
   bool split_capacity_;
   size_t pipeline_depth_;
   bool pipelined_;
   size_t phase_ = 0;
+  size_t lifecycle_applied_ = 0;
   std::vector<PhaseResult> phases_;
   std::vector<uint32_t> pending_;
   // Completion timestamps of in-flight pipelined ops, in issue order.
@@ -352,7 +416,8 @@ void FinalizePhases(const ResolvedSchedule& schedule, std::vector<PhaseResult>* 
 void ReplayInterleaved(const std::vector<CacheClient*>& clients, const workload::Trace& trace,
                        size_t begin, size_t end, const RunOptions& options,
                        const ResolvedSchedule* schedule = nullptr,
-                       std::vector<PhaseResult>* phases_out = nullptr) {
+                       std::vector<PhaseResult>* phases_out = nullptr,
+                       RecoveryAccumulator* recovery = nullptr) {
   const size_t n = clients.size();
   const std::string value(std::max(options.value_bytes, options.value_bytes_max), 'v');
   std::vector<size_t> cursor(n);
@@ -362,9 +427,11 @@ void ReplayInterleaved(const std::vector<CacheClient*>& clients, const workload:
   for (size_t c = 0; c < n; ++c) {
     cursor[c] = begin + c;
     // Interleaved clients share one deployment, so each applies the
-    // aggregate capacity (idempotent on the shared server state).
+    // aggregate capacity (idempotent on the shared server state). The
+    // recovery accumulator is shared too: the engine runs on one host
+    // thread, so windows follow the merged dispatch order.
     dispatch.emplace_back(clients[c], trace, options, value, schedule, c, n,
-                          /*split_capacity=*/false);
+                          /*split_capacity=*/false, recovery);
     if (cursor[c] < end) {
       live.push_back(static_cast<int>(c));
     }
@@ -386,6 +453,9 @@ void ReplayInterleaved(const std::vector<CacheClient*>& clients, const workload:
   }
   for (const OpDispatcher& d : dispatch) {
     MergePhases(d.phases(), phases_out);
+  }
+  if (recovery != nullptr) {
+    recovery->Finish();
   }
 }
 
@@ -630,6 +700,17 @@ size_t ResizeStepIndex(double at_op_fraction, size_t begin, size_t end) {
   return begin + static_cast<size_t>(at_op_fraction * static_cast<double>(end - begin));
 }
 
+std::vector<LifecycleStep> NormalizedLifecycleSchedule(std::vector<LifecycleStep> schedule) {
+  std::stable_sort(schedule.begin(), schedule.end(),
+                   [](const LifecycleStep& a, const LifecycleStep& b) {
+                     return a.at_op_fraction < b.at_op_fraction;
+                   });
+  for (LifecycleStep& step : schedule) {
+    step.at_op_fraction = std::min(std::max(step.at_op_fraction, 0.0), 1.0);
+  }
+  return schedule;
+}
+
 uint32_t ShardForKey(uint64_t key, size_t num_shards, uint64_t seed) {
   return SeededPartition(key, num_shards, seed);
 }
@@ -661,7 +742,12 @@ RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Tra
   const MeasureBaseline base = BeginMeasurement(clients, nodes);
   const WallPoint wall_begin = WallBegin();
   std::vector<PhaseResult> phases;
-  ReplayInterleaved(clients, trace, measure_begin, trace.size(), options, &schedule, &phases);
+  std::vector<RecoverySample> recovery_samples;
+  RecoveryAccumulator recovery;
+  recovery.window_ops = options.recovery_window_ops;
+  recovery.out = &recovery_samples;
+  ReplayInterleaved(clients, trace, measure_begin, trace.size(), options, &schedule, &phases,
+                    options.recovery_window_ops > 0 ? &recovery : nullptr);
   for (CacheClient* client : clients) {
     client->Finish();
   }
@@ -671,6 +757,7 @@ RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Tra
   FillWall(&result, wall_begin, /*threads=*/1);
   FinalizePhases(schedule, &phases);
   result.phases = std::move(phases);
+  result.recovery = std::move(recovery_samples);
   return result;
 }
 

@@ -85,7 +85,33 @@ struct RunOptions {
   // per-phase hit rates.
   std::vector<ResizeStep> resize_schedule;
 
+  // Cluster lifecycle schedule (empty = stable membership), mirroring
+  // resize_schedule: when the measured replay crosses a step's index, every
+  // client calls CacheClient::ApplyLifecycle (cluster deployments apply it
+  // globally-once; other clients ignore it). Steps are sorted by
+  // at_op_fraction before use and applied at identical request indices in
+  // every engine, like resizes.
+  std::vector<LifecycleStep> lifecycle_schedule;
+
+  // When > 0, RunTrace samples the measured region's aggregate hit rate into
+  // RunResult::recovery every recovery_window_ops Get outcomes — the
+  // fine-grained trajectory fault/lifecycle experiments need to see hit-rate
+  // collapse and recovery around a schedule step. Windows aggregate across
+  // all clients of the (single-host-thread) interleaved replay and are
+  // bit-deterministic; the concurrent engines ignore the knob.
+  size_t recovery_window_ops = 0;
+
   size_t ValueBytesFor(uint64_t key) const;
+};
+
+// One recovery-trajectory sample: Get outcomes of one window of the measured
+// replay (see RunOptions::recovery_window_ops).
+struct RecoverySample {
+  uint64_t gets = 0;
+  uint64_t hits = 0;
+  double HitRate() const {
+    return gets == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(gets);
+  }
 };
 
 // Per-phase slice of a run, where phases are delimited by the resize
@@ -137,6 +163,10 @@ struct RunResult {
   // entries; a single entry covering the whole run when no schedule is set).
   // Deterministic: identical for any RunTraceSharded thread count.
   std::vector<PhaseResult> phases;
+  // Windowed hit-rate trajectory of the measured region (RunTrace only,
+  // empty unless RunOptions::recovery_window_ops > 0). The final window may
+  // be short. Deterministic for a fixed (trace, options, fault seed).
+  std::vector<RecoverySample> recovery;
 };
 
 // Replays `trace` sharded round-robin over `clients`. `node` provides the
@@ -154,6 +184,10 @@ RunResult RunTrace(const std::vector<CacheClient*>& clients, const workload::Tra
 // replays (sim/elastic_oracle.h) use the same normal form so every consumer
 // crosses phases at identical request indices.
 std::vector<ResizeStep> NormalizedResizeSchedule(std::vector<ResizeStep> schedule);
+
+// Normal form of a lifecycle schedule (same sort/clamp rules, so lifecycle
+// and resize steps fire at indices computed identically).
+std::vector<LifecycleStep> NormalizedLifecycleSchedule(std::vector<LifecycleStep> schedule);
 
 // Absolute trace index at which a (normalized) step fires over the measured
 // region [begin, end).

@@ -7,8 +7,10 @@
 // identical deployment. The rest pins the overload contract: connections
 // past max_conns are answered `-ERR max connections reached` and closed,
 // commands past the shed watermark are answered `-LOADSHED` (never stalled
-// or crashed), malformed frames get a RESP error and a close, and QUIT
-// closes after the flush. Runs in the ASan/TSan CI matrix.
+// or crashed), malformed frames get a RESP error and a close, QUIT closes
+// after the flush, and a cluster-backed front end answers `-UNAVAILABLE`
+// (never a silent nil) when the backing nodes are crashed. Runs in the
+// ASan/TSan CI matrix.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -389,6 +391,47 @@ TEST(ServerProtocolTest, QuitFlushesPipelinedRepliesThenCloses) {
   ASSERT_TRUE(again.ok());
   ASSERT_TRUE(again.Send("GET k\r\n"));  // state survives the closed conn
   EXPECT_EQ(again.ReadReplies(1), std::vector<std::string>{"$v"});
+  server.Stop();
+}
+
+// A cluster-backed front end answers -UNAVAILABLE when no backing node can
+// serve the op — a silent nil would read as "key absent" and poison negative
+// caches. While any node is live, keys re-route through the ring and the wire
+// stays fully functional.
+TEST(ServerClusterTest, CrashedClusterAnswersUnavailableOnWire) {
+  core::ClusterConfig cluster_config;
+  cluster_config.nodes = 2;
+  cluster_config.pool = TestPool(256);
+  core::ClusterPool pool(cluster_config);
+  rdma::ClientContext ctx(0);
+  sim::ClusterCacheClient client(&pool, &ctx, cluster_config.ditto);
+  std::vector<sim::CacheClient*> raw{&client};
+  net::Server server(raw, net::ServerOptions{});
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  RawConn conn(server.port());
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE(conn.Send("SET k v\r\nGET k\r\n"));
+  EXPECT_EQ(conn.ReadReplies(2), (std::vector<std::string>{"+OK", "$v"}));
+
+  // Crash 1 of 2 nodes: keys re-route to the survivor, the wire stays up.
+  // (Round trips order each crash strictly before the next command batch.)
+  pool.Crash(0);
+  ASSERT_TRUE(conn.Send("SET k2 w\r\nGET k2\r\n"));
+  EXPECT_EQ(conn.ReadReplies(2), (std::vector<std::string>{"+OK", "$w"}));
+
+  // Crash the survivor: every data command answers -UNAVAILABLE; PING (no
+  // cache op) still answers, and the connection stays open.
+  pool.Crash(1);
+  ASSERT_TRUE(conn.Send(
+      "GET k\r\nSET k v\r\nDEL k\r\nEXPIRE k 5\r\nTTL k\r\nMGET a b\r\nPING\r\n"));
+  const std::vector<std::string> replies = conn.ReadReplies(7);
+  ASSERT_EQ(replies.size(), 7u);
+  for (size_t i = 0; i + 1 < replies.size(); ++i) {
+    EXPECT_EQ(replies[i].rfind("-UNAVAILABLE", 0), 0u) << replies[i];
+  }
+  EXPECT_EQ(replies.back(), "+PONG");
   server.Stop();
 }
 
